@@ -1,0 +1,99 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation section. Each benchmark regenerates its artifact at a
+// reduced-but-faithful scale (shapes are slot-length invariant in the
+// simulator) and reports the rendered report length so the work cannot be
+// optimized away. Run a single artifact with e.g.
+//
+//	go test -bench BenchmarkTableV -benchtime 1x
+//
+// or everything with `go test -bench . -benchtime 1x`. The same drivers run
+// at full paper scale via `go run ./cmd/cloudybench run all -scale paper`.
+package cloudybench
+
+import (
+	"testing"
+	"time"
+
+	"cloudybench/internal/experiments"
+)
+
+// benchScale compresses the experiment windows further than Quick so the
+// whole suite of eleven artifacts completes in minutes.
+var benchScale = experiments.Scale{
+	Name:         "bench",
+	Warmup:       500 * time.Millisecond,
+	Measure:      1500 * time.Millisecond,
+	Concurrency:  []int{100},
+	SFs:          []int{1},
+	SlotLength:   3 * time.Second,
+	CostSlots:    6,
+	Tau:          110,
+	FailBaseline: 6 * time.Second,
+	FailTimeout:  45 * time.Second,
+	FailConc:     30,
+	LagDuration:  2500 * time.Millisecond,
+	LagConc:      6,
+	Seed:         42,
+}
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.Run(id, benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) == 0 {
+			b.Fatal("empty report")
+		}
+		b.ReportMetric(float64(len(out)), "report_bytes")
+	}
+}
+
+// BenchmarkFigure5 regenerates the transaction-processing comparison
+// (TPS across scale factor, mix, and concurrency — paper Figure 5).
+func BenchmarkFigure5(b *testing.B) { runExperiment(b, "f5") }
+
+// BenchmarkTableV regenerates the P-Score table with the detailed
+// resource-cost breakdown (paper Table V).
+func BenchmarkTableV(b *testing.B) { runExperiment(b, "t5") }
+
+// BenchmarkFigure6 regenerates the elasticity evaluation: TPS, total cost,
+// and E1-Score across the four elastic patterns (paper Figure 6).
+func BenchmarkFigure6(b *testing.B) { runExperiment(b, "f6") }
+
+// BenchmarkTableVI regenerates the per-transition scaling time and cost of
+// the serverless SUTs (paper Table VI).
+func BenchmarkTableVI(b *testing.B) { runExperiment(b, "t6") }
+
+// BenchmarkTableVII regenerates the multi-tenancy evaluation across the
+// four contention patterns (paper Table VII).
+func BenchmarkTableVII(b *testing.B) { runExperiment(b, "t7") }
+
+// BenchmarkTableVIII regenerates the fail-over F-Score and R-Score table
+// (paper Table VIII).
+func BenchmarkTableVIII(b *testing.B) { runExperiment(b, "t8") }
+
+// BenchmarkFigure7 regenerates CDB4's promote-an-RO fail-over timeline
+// (paper Figure 7).
+func BenchmarkFigure7(b *testing.B) { runExperiment(b, "f7") }
+
+// BenchmarkLagTime regenerates the replication lag evaluation across the
+// four IUD mixes (paper §III-F).
+func BenchmarkLagTime(b *testing.B) { runExperiment(b, "lag") }
+
+// BenchmarkTableIX regenerates the unified PERFECT comparison including
+// the actual-cost starred variants (paper Table IX).
+func BenchmarkTableIX(b *testing.B) { runExperiment(b, "t9") }
+
+// BenchmarkFigure8 regenerates the buffer-size sweep for RDS, CDB1, and
+// CDB4 (paper Figure 8).
+func BenchmarkFigure8(b *testing.B) { runExperiment(b, "f8") }
+
+// BenchmarkFigure9 regenerates the CPU-allocation comparison of
+// CloudyBench against SysBench and TPC-C on CDB3 (paper Figure 9).
+func BenchmarkFigure9(b *testing.B) { runExperiment(b, "f9") }
+
+// BenchmarkAblations runs the design-choice ablations DESIGN.md calls out:
+// parallel replay, the remote buffer pool, and redo pushdown.
+func BenchmarkAblations(b *testing.B) { runExperiment(b, "ablations") }

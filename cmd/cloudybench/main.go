@@ -1,0 +1,146 @@
+// Command cloudybench runs CloudyBench experiments against the simulated
+// cloud-native databases and prints paper-style tables and figures.
+//
+// Usage:
+//
+//	cloudybench list
+//	cloudybench run <experiment-id>... [-scale quick|paper] [-o results.txt]
+//	cloudybench run all [-scale quick|paper]
+//
+// Experiment ids map to the paper's artifacts: f5 t5 f6 t6 t7 t8 f7 lag t9
+// f8 f9 (see `cloudybench list`).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"cloudybench/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cloudybench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return nil
+	}
+	switch args[0] {
+	case "list":
+		return list()
+	case "run":
+		return runExperiments(args[1:])
+	case "custom":
+		return runCustom(args[1:])
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q (try: list, run)", args[0])
+	}
+}
+
+func usage() {
+	fmt.Println(`cloudybench — a testbed for comprehensive evaluation of cloud-native databases
+
+Commands:
+  list                     show all experiments
+  run <id>... [flags]      run experiments (or "run all")
+  custom -props FILE       run a user-defined elasticity pattern from a props file
+
+Flags for run:
+  -scale quick|paper       experiment scale (default quick)
+  -o FILE                  also write the report to FILE
+
+Experiment ids correspond to the paper's tables and figures.`)
+}
+
+func runCustom(args []string) error {
+	fs := flag.NewFlagSet("custom", flag.ContinueOnError)
+	propsFile := fs.String("props", "", "props file with elastic_testTime and *_con keys")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *propsFile == "" {
+		return fmt.Errorf("custom: -props FILE required")
+	}
+	data, err := os.ReadFile(*propsFile)
+	if err != nil {
+		return err
+	}
+	out, err := experiments.RunCustomElasticity(string(data))
+	if err != nil {
+		return err
+	}
+	fmt.Print(out)
+	return nil
+}
+
+func list() error {
+	fmt.Println("Experiments:")
+	for _, id := range experiments.IDs() {
+		desc, _ := experiments.Describe(id)
+		fmt.Printf("  %-4s %s\n", id, desc)
+	}
+	return nil
+}
+
+func runExperiments(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	scaleName := fs.String("scale", "quick", "experiment scale: quick or paper")
+	outFile := fs.String("o", "", "also write the report to this file")
+
+	// Accept ids before flags: split args into ids and flag-ish tail.
+	var ids []string
+	rest := args
+	for len(rest) > 0 && !strings.HasPrefix(rest[0], "-") {
+		ids = append(ids, rest[0])
+		rest = rest[1:]
+	}
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	if len(ids) == 0 {
+		return fmt.Errorf("run: no experiment ids given (try `cloudybench list`)")
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = experiments.IDs()
+	}
+	sc, ok := experiments.ScaleByName(*scaleName)
+	if !ok {
+		return fmt.Errorf("unknown scale %q (quick or paper)", *scaleName)
+	}
+
+	var out strings.Builder
+	for _, id := range ids {
+		desc, ok := experiments.Describe(id)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (try `cloudybench list`)", id)
+		}
+		fmt.Fprintf(os.Stderr, "== running %s (%s) at scale %s...\n", id, desc, sc.Name)
+		start := time.Now()
+		text, err := experiments.Run(id, sc)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "== %s done in %s\n", id, time.Since(start).Round(time.Millisecond))
+		out.WriteString(text)
+		out.WriteString("\n")
+	}
+	fmt.Print(out.String())
+	if *outFile != "" {
+		if err := os.WriteFile(*outFile, []byte(out.String()), 0o644); err != nil {
+			return fmt.Errorf("writing %s: %w", *outFile, err)
+		}
+		fmt.Fprintf(os.Stderr, "report written to %s\n", *outFile)
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module cloudybench
+
+go 1.23

@@ -1,0 +1,214 @@
+package baselines
+
+import (
+	"testing"
+	"time"
+
+	"cloudybench/internal/core"
+	"cloudybench/internal/engine"
+	"cloudybench/internal/node"
+	"cloudybench/internal/rng"
+	"cloudybench/internal/sim"
+)
+
+var epoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func makeNode(s *sim.Sim) *node.Node {
+	return node.New(s, node.Config{
+		Name: "n", VCores: 4, MemoryBytes: 512 << 20,
+		OpCPU: 50 * time.Microsecond, TxnCPU: 30 * time.Microsecond,
+	}, node.NullBackend{})
+}
+
+func TestSysBenchSetupAndRun(t *testing.T) {
+	s := sim.New(epoch)
+	n := makeNode(s)
+	sb := NewSysBench()
+	if err := sb.CreateTables(n.DB, 42); err != nil {
+		t.Fatal(err)
+	}
+	// Paper cites ~226 MB for 3 tables of 300k rows.
+	if gb := float64(sb.RawBytes()) / (1 << 20); gb < 150 || gb > 300 {
+		t.Fatalf("raw size = %.0f MB, want ~226", gb)
+	}
+	col := core.NewCollector()
+	d := NewDriver(s, "sysbench", 7, func() *node.Node { return n }, sb.Txn, col)
+	s.Go("ctl", func(p *sim.Proc) {
+		d.SetConcurrency(11) // the paper's thread count
+		p.Sleep(2 * time.Second)
+		d.Stop()
+		d.Wait(p)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if col.Commits() < 100 {
+		t.Fatalf("commits = %d", col.Commits())
+	}
+	if col.Errors() != 0 {
+		t.Fatalf("errors = %d", col.Errors())
+	}
+	// Writes actually happened: some sbtest table has delta entries.
+	touched := 0
+	for i := 1; i <= 3; i++ {
+		touched += n.DB.Table("sbtest" + string(rune('0'+i))).DeltaLen()
+	}
+	if touched == 0 {
+		t.Fatal("no writes recorded")
+	}
+}
+
+func newTPCCNode(t *testing.T, s *sim.Sim) (*node.Node, *TPCC) {
+	t.Helper()
+	n := makeNode(s)
+	tp := NewTPCC(1)
+	if err := tp.CreateTables(n.DB, 42); err != nil {
+		t.Fatal(err)
+	}
+	return n, tp
+}
+
+func TestTPCCLoadInvariants(t *testing.T) {
+	s := sim.New(epoch)
+	n, _ := newTPCCNode(t, s)
+	db := n.DB
+	if got := db.Table("warehouse").LiveRows(); got != 1 {
+		t.Fatalf("warehouses = %d", got)
+	}
+	if got := db.Table("district").LiveRows(); got != 10 {
+		t.Fatalf("districts = %d", got)
+	}
+	if got := db.Table("customer").LiveRows(); got != 30_000 {
+		t.Fatalf("customers = %d", got)
+	}
+	if got := db.Table("stock").LiveRows(); got != 100_000 {
+		t.Fatalf("stock = %d", got)
+	}
+	if got := db.Table("orders").LiveRows(); got != 30_000 {
+		t.Fatalf("orders = %d", got)
+	}
+	if got := db.Table("new_order").LiveRows(); got != 9_000 {
+		t.Fatalf("new orders = %d, want 900/district", got)
+	}
+	if got := db.Table("order_line").LiveRows(); got != 300_000 {
+		t.Fatalf("order lines = %d", got)
+	}
+	// District rows carry the next order id.
+	drow, _, _ := db.Table("district").Get(engine.IntKey(3))
+	if drow[4].I != tpccInitialOrders+1 {
+		t.Fatalf("D_NEXT_O_ID = %d", drow[4].I)
+	}
+}
+
+func TestTPCCNewOrderAdvancesDistrictAndStock(t *testing.T) {
+	s := sim.New(epoch)
+	n, tp := newTPCCNode(t, s)
+	s.Go("t", func(p *sim.Proc) {
+		if err := tp.NewOrder(p, n, newSrc(7)); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Exactly one district advanced its order counter.
+	advanced := 0
+	var district int64
+	for dk := int64(1); dk <= 10; dk++ {
+		drow, _, _ := n.DB.Table("district").Get(engine.IntKey(dk))
+		if drow[4].I == tpccInitialOrders+2 {
+			advanced++
+			district = dk
+		}
+	}
+	if advanced != 1 {
+		t.Fatalf("districts advanced = %d", advanced)
+	}
+	// The new order and its lines exist.
+	okey := orderKeyID(1, int(district), tpccInitialOrders+1)
+	orow, _, ok := n.DB.Table("orders").Get(engine.IntKey(okey))
+	if !ok {
+		t.Fatal("order row missing")
+	}
+	cnt := int(orow[4].I)
+	if cnt < 5 || cnt > 15 {
+		t.Fatalf("ol count = %d", cnt)
+	}
+	for ol := 1; ol <= cnt; ol++ {
+		if _, _, ok := n.DB.Table("order_line").Get(engine.IntKey(orderLineKeyID(okey, ol))); !ok {
+			t.Fatalf("order line %d missing", ol)
+		}
+	}
+	if _, _, ok := n.DB.Table("new_order").Get(engine.IntKey(okey)); !ok {
+		t.Fatal("new_order row missing")
+	}
+}
+
+func TestTPCCPaymentMovesMoney(t *testing.T) {
+	s := sim.New(epoch)
+	n, tp := newTPCCNode(t, s)
+	wBefore, _, _ := n.DB.Table("warehouse").Get(engine.IntKey(1))
+	s.Go("t", func(p *sim.Proc) {
+		if err := tp.Payment(p, n, newSrc(9)); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	wAfter, _, _ := n.DB.Table("warehouse").Get(engine.IntKey(1))
+	if wAfter[3].F <= wBefore[3].F {
+		t.Fatal("warehouse YTD did not grow")
+	}
+	if n.DB.Table("history").LiveRows() != 1 {
+		t.Fatal("history row missing")
+	}
+}
+
+func TestTPCCDeliveryConsumesNewOrders(t *testing.T) {
+	s := sim.New(epoch)
+	n, tp := newTPCCNode(t, s)
+	before := n.DB.Table("new_order").LiveRows()
+	s.Go("t", func(p *sim.Proc) {
+		if err := tp.Delivery(p, n, newSrc(11)); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	after := n.DB.Table("new_order").LiveRows()
+	if after != before-10 {
+		t.Fatalf("new_order rows %d -> %d, want -10 (one per district)", before, after)
+	}
+}
+
+func TestTPCCFullMixRuns(t *testing.T) {
+	s := sim.New(epoch)
+	n, tp := newTPCCNode(t, s)
+	col := core.NewCollector()
+	d := NewDriver(s, "tpcc", 13, func() *node.Node { return n }, tp.Txn, col)
+	s.Go("ctl", func(p *sim.Proc) {
+		d.SetConcurrency(8)
+		p.Sleep(2 * time.Second)
+		d.Stop()
+		d.Wait(p)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if col.Commits() < 100 {
+		t.Fatalf("commits = %d", col.Commits())
+	}
+	if col.Errors() != 0 {
+		t.Fatalf("errors = %d", col.Errors())
+	}
+	// Money conservation-ish sanity: warehouse YTD only grows.
+	wrow, _, _ := n.DB.Table("warehouse").Get(engine.IntKey(1))
+	if wrow[3].F < 300_000 {
+		t.Fatalf("warehouse YTD shrank: %v", wrow[3].F)
+	}
+}
+
+// newSrc builds a deterministic source for direct transaction tests.
+func newSrc(seed int64) *rng.Source { return rng.New(seed) }

@@ -1,0 +1,87 @@
+// Package baselines implements the two comparison workloads of paper
+// §III-I (Figure 9): a SysBench-style oltp_read_write microbenchmark and a
+// TPC-C macrobenchmark. Both issue constant, non-bursty load — which is
+// exactly why the paper shows they barely exercise a serverless database's
+// scaling range, while CloudyBench's peak-and-valley patterns drive it
+// across its whole capacity span.
+package baselines
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"cloudybench/internal/core"
+	"cloudybench/internal/node"
+	"cloudybench/internal/rng"
+	"cloudybench/internal/sim"
+)
+
+// TxnFunc executes one transaction against the target node, returning nil
+// on commit.
+type TxnFunc func(p *sim.Proc, n *node.Node, src *rng.Source) error
+
+// Driver runs a baseline workload at a fixed (but adjustable) concurrency,
+// mirroring the CloudyBench runner's lifecycle so evaluators can treat all
+// three workloads uniformly.
+type Driver struct {
+	s         *sim.Sim
+	name      string
+	seed      int64
+	target    func() *node.Node
+	txn       TxnFunc
+	collector *core.Collector
+	group     *sim.Group
+
+	conc    int
+	spawned int
+	stopped bool
+}
+
+// NewDriver creates a stopped driver.
+func NewDriver(s *sim.Sim, name string, seed int64, target func() *node.Node, txn TxnFunc, col *core.Collector) *Driver {
+	return &Driver{
+		s: s, name: name, seed: seed, target: target, txn: txn,
+		collector: col, group: sim.NewGroup(s),
+	}
+}
+
+// SetConcurrency reshapes the worker pool.
+func (d *Driver) SetConcurrency(n int) {
+	if n < 0 {
+		n = 0
+	}
+	d.conc = n
+	for d.spawned < n {
+		idx := d.spawned
+		d.spawned++
+		src := rng.ChildOf(d.seed, fmt.Sprintf("%s/w%d", d.name, idx))
+		d.group.Go(fmt.Sprintf("%s/w%d", d.name, idx), func(p *sim.Proc) {
+			for !d.stopped && idx < d.conc {
+				start := p.Elapsed()
+				err := d.txn(p, d.target(), src)
+				switch {
+				case err == nil:
+					d.collector.RecordCommit(core.T1NewOrderline, p.Elapsed(), p.Elapsed()-start)
+				case errors.Is(err, node.ErrNodeDown):
+					d.collector.RecordError(p.Elapsed())
+					p.Sleep(100 * time.Millisecond) // reconnect backoff
+				default:
+					d.collector.RecordError(p.Elapsed())
+				}
+			}
+		})
+	}
+}
+
+// Stop terminates all workers after their current transaction.
+func (d *Driver) Stop() {
+	d.stopped = true
+	d.conc = 0
+}
+
+// Wait blocks until every worker exits.
+func (d *Driver) Wait(p *sim.Proc) { d.group.Wait(p) }
+
+// Collector returns the driver's collector.
+func (d *Driver) Collector() *core.Collector { return d.collector }

@@ -1,0 +1,301 @@
+// Package cluster manages a database cluster: one read-write node, its
+// read-only replicas, the replication streams between them, and fail-over.
+//
+// Failure injection follows the paper's restart model (§II-E): the testbed
+// invokes a restart rather than a kill so the service comes back without
+// operator action, and the evaluator measures two phases — time until the
+// service accepts requests again (F-Score) and time until throughput
+// recovers to its pre-failure level (R-Score).
+//
+// Two fail-over styles are supported: restart-in-place (RDS and most CDBs)
+// and the memory-disaggregated switch-over of Figure 7 (CDB4): prepare
+// (refuse requests, collect LSNs), promote an RO to the new RW, then
+// recover by scanning undo — with the old RW rejoining as an RO.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"cloudybench/internal/node"
+	"cloudybench/internal/replication"
+	"cloudybench/internal/sim"
+	"cloudybench/internal/storage"
+)
+
+// Role is a member's current role.
+type Role int
+
+// Roles.
+const (
+	RW Role = iota
+	RO
+)
+
+func (r Role) String() string {
+	if r == RW {
+		return "RW"
+	}
+	return "RO"
+}
+
+// Member is one node in the cluster.
+type Member struct {
+	Node   *node.Node
+	Role   Role
+	Stream *replication.Stream // stream feeding this node (nil for the RW)
+}
+
+// FailoverConfig sets the architecture's recovery behaviour.
+type FailoverConfig struct {
+	// DetectDelay is the heartbeat interval before a failure is noticed.
+	DetectDelay time.Duration
+	// RestartServiceTime is how long a restarted node stays down before
+	// accepting requests again (ARIES redo/undo or log-replay recovery).
+	RestartServiceTime time.Duration
+	// RORestartServiceTime overrides RestartServiceTime for RO restarts
+	// (zero = same).
+	RORestartServiceTime time.Duration
+	// ClearBufferOnRestart cold-starts the cache, making TPS recovery
+	// gradual (the R phase).
+	ClearBufferOnRestart bool
+	// RecoveryRamp, if positive, throttles the restarted node's vCores,
+	// ramping linearly from 25% back to full over this duration —
+	// modeling background redo/undo replay and catch-up work competing
+	// with foreground queries. It is what separates R-Score from zero:
+	// the service is up (F done) but throughput lags (R phase).
+	RecoveryRamp time.Duration
+	// PromoteOnRWFailure switches over to an RO instead of restarting in
+	// place (CDB4, Figure 7), using the three phase durations below.
+	PromoteOnRWFailure bool
+	PreparePhase       time.Duration
+	SwitchPhase        time.Duration
+	RecoverPhase       time.Duration
+}
+
+// PhaseEvent is one step of a fail-over timeline (Figure 7).
+type PhaseEvent struct {
+	At    time.Duration
+	Phase string
+}
+
+// StreamFactory builds a replication stream from the current RW to the
+// given replica (used at setup and again after promotion rewires roles).
+type StreamFactory func(target *node.Node) *replication.Stream
+
+// Cluster is one SUT deployment.
+type Cluster struct {
+	S       *sim.Sim
+	Name    string
+	cfg     FailoverConfig
+	members []*Member
+	rw      *Member
+	factory StreamFactory
+
+	timeline []PhaseEvent
+	rrNext   int
+}
+
+// New builds a cluster from a read-write node and replicas. factory may be
+// nil when the cluster has no replicas or replication is wired externally.
+func New(s *sim.Sim, name string, cfg FailoverConfig, rwNode *node.Node, replicas []*node.Node, factory StreamFactory) *Cluster {
+	c := &Cluster{S: s, Name: name, cfg: cfg, factory: factory}
+	c.rw = &Member{Node: rwNode, Role: RW}
+	c.members = append(c.members, c.rw)
+	for _, r := range replicas {
+		m := &Member{Node: r, Role: RO}
+		if factory != nil {
+			m.Stream = factory(r)
+		}
+		c.members = append(c.members, m)
+	}
+	c.wireCommit()
+	return c
+}
+
+// wireCommit points the current RW's commit hook at every RO stream.
+func (c *Cluster) wireCommit() {
+	streams := c.roStreams()
+	if len(streams) == 0 {
+		c.rw.Node.OnCommit = nil
+		return
+	}
+	c.rw.Node.OnCommit = func(p *sim.Proc, recs []storage.Record) {
+		for _, st := range streams {
+			st.Publish(p, recs)
+		}
+	}
+}
+
+func (c *Cluster) roStreams() []*replication.Stream {
+	var out []*replication.Stream
+	for _, m := range c.members {
+		if m.Role == RO && m.Stream != nil {
+			out = append(out, m.Stream)
+		}
+	}
+	return out
+}
+
+// RW returns the current read-write node (changes after promotion).
+func (c *Cluster) RW() *node.Node { return c.rw.Node }
+
+// RWMember returns the current read-write member.
+func (c *Cluster) RWMember() *Member { return c.rw }
+
+// Members returns all members.
+func (c *Cluster) Members() []*Member { return c.members }
+
+// ReadNode returns a node for read traffic, balancing round-robin across
+// every running member — the RW node serves reads too, so adding an RO
+// node grows aggregate read capacity (the basis of the E2 score).
+func (c *Cluster) ReadNode() *node.Node {
+	n := len(c.members)
+	for i := 0; i < n; i++ {
+		m := c.members[(c.rrNext+i)%n]
+		if m.Node.State() == node.Running {
+			c.rrNext = (c.rrNext + i + 1) % n
+			return m.Node
+		}
+	}
+	return c.rw.Node
+}
+
+// Replica returns the i-th RO member (nil if out of range).
+func (c *Cluster) Replica(i int) *Member {
+	idx := 0
+	for _, m := range c.members {
+		if m.Role == RO {
+			if idx == i {
+				return m
+			}
+			idx++
+		}
+	}
+	return nil
+}
+
+// Timeline returns the recorded fail-over phase events.
+func (c *Cluster) Timeline() []PhaseEvent { return c.timeline }
+
+func (c *Cluster) mark(phase string) {
+	c.timeline = append(c.timeline, PhaseEvent{At: c.S.Elapsed(), Phase: phase})
+}
+
+// Shutdown stops all replication streams and checkpointers so the
+// simulation can drain.
+func (c *Cluster) Shutdown() {
+	for _, m := range c.members {
+		if m.Stream != nil {
+			m.Stream.Stop()
+		}
+		m.Node.StopCheckpointer()
+	}
+}
+
+// InjectRestart restarts the given member per the restart model, blocking
+// the calling process for the failure-detection delay plus the recovery
+// flow. It returns when the service is accepting requests again.
+func (c *Cluster) InjectRestart(p *sim.Proc, m *Member) {
+	p.Sleep(c.cfg.DetectDelay)
+	if m.Role == RW && c.cfg.PromoteOnRWFailure {
+		c.promoteFailover(p, m)
+		return
+	}
+	c.restartInPlace(p, m)
+}
+
+func (c *Cluster) restartInPlace(p *sim.Proc, m *Member) {
+	c.mark(fmt.Sprintf("%s failure injected", m.Role))
+	m.Node.SetState(node.Down)
+	if c.cfg.ClearBufferOnRestart {
+		m.Node.Buf.Clear()
+	}
+	wait := c.cfg.RestartServiceTime
+	if m.Role == RO && c.cfg.RORestartServiceTime > 0 {
+		wait = c.cfg.RORestartServiceTime
+	}
+	p.Sleep(wait)
+	m.Node.SetState(node.Running)
+	c.mark(fmt.Sprintf("%s service restored", m.Role))
+	c.rampUp(m.Node)
+}
+
+// rampUp throttles a freshly restarted node and restores full capacity in
+// quarter steps across the configured recovery ramp.
+func (c *Cluster) rampUp(n *node.Node) {
+	if c.cfg.RecoveryRamp <= 0 {
+		return
+	}
+	full := n.VCores()
+	if full <= 0 {
+		return
+	}
+	n.SetVCores(c.S.Elapsed(), full*0.25)
+	c.S.Go(c.Name+"/recovery-ramp", func(p *sim.Proc) {
+		const steps = 4
+		for i := 1; i <= steps; i++ {
+			p.Sleep(c.cfg.RecoveryRamp / steps)
+			n.SetVCores(c.S.Elapsed(), full*(0.25+0.75*float64(i)/steps))
+		}
+	})
+}
+
+// promoteFailover runs the Figure 7 switch-over: prepare, promote an RO to
+// the new RW, recover, and rejoin the old RW as an RO.
+func (c *Cluster) promoteFailover(p *sim.Proc, old *Member) {
+	target := c.Replica(0)
+	if target == nil {
+		// No replica to promote: fall back to restart-in-place.
+		c.restartInPlace(p, old)
+		return
+	}
+	c.mark("RW failure detected")
+
+	// Prepare: cluster manager notifies all nodes to refuse requests and
+	// collects the latest page/checkpoint LSNs.
+	c.mark("prepare: refuse requests, collect LSN")
+	for _, m := range c.members {
+		m.Node.SetState(node.Down)
+	}
+	p.Sleep(c.cfg.PreparePhase)
+
+	// Switch over: promote the RO; the old RW cleans up against the
+	// remote buffer pool and will restart as an RO.
+	c.mark("switch-over: promote RO to RW'")
+	p.Sleep(c.cfg.SwitchPhase)
+	if target.Stream != nil {
+		target.Stream.Stop()
+		target.Stream = nil
+	}
+	old.Node.OnCommit = nil
+	old.Role = RO
+	target.Role = RW
+	c.rw = target
+
+	// Recovering: the new RW rebuilds active transactions and rolls back
+	// uncommitted work by scanning undo.
+	c.mark("recovering: scan undo, rollback uncommitted")
+	p.Sleep(c.cfg.RecoverPhase)
+
+	// New RW serves (ramping while it rebuilds), and the old RW rejoins
+	// as a replica via a fresh stream.
+	target.Node.SetState(node.Running)
+	c.mark("RW' serving requests")
+	c.rampUp(target.Node)
+	if c.factory != nil {
+		old.Stream = c.factory(old.Node)
+		c.wireCommit()
+	}
+	for _, m := range c.members {
+		if m != target && m != old {
+			m.Node.SetState(node.Running)
+		}
+	}
+	// The old RW restarts (cleanup + restart) slightly behind the
+	// switch-over, then serves reads.
+	old.Node.Buf.Clear()
+	p.Sleep(c.cfg.RestartServiceTime)
+	old.Node.SetState(node.Running)
+	c.mark("old RW rejoined as RO'")
+}

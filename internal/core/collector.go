@@ -1,0 +1,96 @@
+package core
+
+import (
+	"time"
+
+	"cloudybench/internal/meter"
+)
+
+// TxnType identifies one of the CloudyBench transactions of paper Table II.
+type TxnType int
+
+// Transactions.
+const (
+	T1NewOrderline TxnType = iota + 1
+	T2OrderPayment
+	T3OrderStatus
+	T4OrderlineDeletion
+)
+
+func (t TxnType) String() string {
+	switch t {
+	case T1NewOrderline:
+		return "T1-NewOrderline"
+	case T2OrderPayment:
+		return "T2-OrderPayment"
+	case T3OrderStatus:
+		return "T3-OrderStatus"
+	case T4OrderlineDeletion:
+		return "T4-OrderlineDeletion"
+	default:
+		return "T?"
+	}
+}
+
+// Collector is CloudyBench's performance collector: committed-transaction
+// counts in per-second buckets (every TPS figure), latency reservoirs, and
+// error counts (requests rejected during fail-over outages).
+type Collector struct {
+	commits *meter.Counter
+	errors  *meter.Counter
+	latency *meter.Reservoir
+	byType  [5]int64
+}
+
+// NewCollector returns an empty collector with 1-second TPS buckets.
+func NewCollector() *Collector {
+	return &Collector{
+		commits: meter.NewCounter(time.Second),
+		errors:  meter.NewCounter(time.Second),
+		latency: meter.NewReservoir(),
+	}
+}
+
+// RecordCommit records one committed transaction.
+func (c *Collector) RecordCommit(typ TxnType, at time.Duration, latency time.Duration) {
+	c.commits.Add(at, 1)
+	c.latency.Add(latency)
+	if typ >= 1 && int(typ) < len(c.byType) {
+		c.byType[typ]++
+	}
+}
+
+// RecordError records one failed request (node down, lock timeout).
+func (c *Collector) RecordError(at time.Duration) {
+	c.errors.Add(at, 1)
+}
+
+// Commits returns the total committed transactions.
+func (c *Collector) Commits() int64 { return c.commits.Total() }
+
+// Errors returns the total failed requests.
+func (c *Collector) Errors() int64 { return c.errors.Total() }
+
+// CountByType returns commits of one transaction type.
+func (c *Collector) CountByType(t TxnType) int64 {
+	if t >= 1 && int(t) < len(c.byType) {
+		return c.byType[t]
+	}
+	return 0
+}
+
+// TPS returns average committed transactions per second over [from, to).
+func (c *Collector) TPS(from, to time.Duration) float64 {
+	return c.commits.Rate(from, to)
+}
+
+// TPSBuckets returns the per-second TPS series over [from, to).
+func (c *Collector) TPSBuckets(from, to time.Duration) []float64 {
+	return c.commits.Buckets(from, to)
+}
+
+// Latency returns the latency reservoir.
+func (c *Collector) Latency() *meter.Reservoir { return c.latency }
+
+// CommitCounter exposes the raw commit counter (fail-over recovery search).
+func (c *Collector) CommitCounter() *meter.Counter { return c.commits }

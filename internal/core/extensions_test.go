@@ -1,0 +1,156 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"cloudybench/internal/engine"
+	"cloudybench/internal/node"
+	"cloudybench/internal/sim"
+)
+
+func extNode(t *testing.T, s *sim.Sim) *node.Node {
+	t.Helper()
+	n := node.New(s, node.Config{
+		Name: "n", VCores: 4, MemoryBytes: 128 << 20,
+		OpCPU: 50 * time.Microsecond, TxnCPU: 20 * time.Microsecond,
+	}, node.NullBackend{})
+	d := NewDataset(1, 42)
+	if err := d.CreateTables(n.DB); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CreateExtensionTables(n.DB); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestExtensionTablesCoexistWithSales(t *testing.T) {
+	s := sim.New(epoch)
+	n := extNode(t, s)
+	for _, name := range []string{
+		TableCustomer, TableOrders, TableOrderline,
+		TableProduct, TableWorkorder, TableStockitem,
+	} {
+		if n.DB.Table(name) == nil {
+			t.Fatalf("missing table %s", name)
+		}
+	}
+	if got := n.DB.Table(TableProduct).BaseRows(); got != 30_000 {
+		t.Fatalf("products = %d", got)
+	}
+	// Stock item i tracks product i.
+	si, _, _ := n.DB.Table(TableStockitem).Get(engine.IntKey(77))
+	if si[1].I != 77 {
+		t.Fatalf("stockitem product ref = %d", si[1].I)
+	}
+}
+
+func TestM1CompleteWorkorderMovesQuantity(t *testing.T) {
+	s := sim.New(epoch)
+	n := extNode(t, s)
+	// Find an OPEN workorder deterministically.
+	var woID int64
+	wos := n.DB.Table(TableWorkorder)
+	for id := int64(1); id <= 100; id++ {
+		row, _, _ := wos.Get(engine.IntKey(id))
+		if row[3].S == WorkorderOpen {
+			woID = id
+			break
+		}
+	}
+	if woID == 0 {
+		t.Fatal("no open workorder in first 100")
+	}
+	wo, _, _ := wos.Get(engine.IntKey(woID))
+	product, qty := wo[1].I, wo[2].I
+	before, _, _ := n.DB.Table(TableStockitem).Get(engine.IntKey(product))
+
+	s.Go("t", func(p *sim.Proc) {
+		if err := M1CompleteWorkorder(p, n, woID, 111); err != nil {
+			t.Error(err)
+		}
+		// Idempotent: completing again is a no-op.
+		if err := M1CompleteWorkorder(p, n, woID, 222); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	after, _, _ := n.DB.Table(TableStockitem).Get(engine.IntKey(product))
+	if after[2].I != before[2].I+qty {
+		t.Fatalf("stock qty %d -> %d, want +%d once", before[2].I, after[2].I, qty)
+	}
+	woAfter, _, _ := wos.Get(engine.IntKey(woID))
+	if woAfter[3].S != WorkorderDone || woAfter[4].I != 111 {
+		t.Fatalf("workorder after: %v", woAfter)
+	}
+}
+
+func TestI1ReserveStockEnforcesAvailability(t *testing.T) {
+	s := sim.New(epoch)
+	n := extNode(t, s)
+	stock := n.DB.Table(TableStockitem)
+	row, _, _ := stock.Get(engine.IntKey(5))
+	available := row[2].I
+
+	s.Go("t", func(p *sim.Proc) {
+		if err := I1ReserveStock(p, n, 5, available, 1); err != nil {
+			t.Errorf("full reservation failed: %v", err)
+		}
+		// Nothing left: the next reservation must fail atomically.
+		err := I1ReserveStock(p, n, 5, 1, 2)
+		if !errors.Is(err, ErrInsufficientStock) {
+			t.Errorf("overdraw: %v", err)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	after, _, _ := stock.Get(engine.IntKey(5))
+	if after[3].I != available {
+		t.Fatalf("reserved = %d, want %d", after[3].I, available)
+	}
+	// The failed reservation must not have bumped the timestamp.
+	if after[4].I != 1 {
+		t.Fatalf("updated date = %d, want 1 (failed txn rolled back)", after[4].I)
+	}
+}
+
+func TestConcurrentReservationsNeverOverdraw(t *testing.T) {
+	s := sim.New(epoch)
+	n := extNode(t, s)
+	stock := n.DB.Table(TableStockitem)
+	row, _, _ := stock.Get(engine.IntKey(9))
+	available := row[2].I
+	chunk := available/10 + 1
+
+	granted := int64(0)
+	for w := 0; w < 16; w++ {
+		s.Go("reserver", func(p *sim.Proc) {
+			for {
+				err := I1ReserveStock(p, n, 9, chunk, 7)
+				if errors.Is(err, ErrInsufficientStock) {
+					return
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				granted += chunk
+			}
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	after, _, _ := stock.Get(engine.IntKey(9))
+	if after[3].I != granted {
+		t.Fatalf("reserved %d != granted %d", after[3].I, granted)
+	}
+	if after[3].I > after[2].I {
+		t.Fatalf("overdrawn: reserved %d > qty %d", after[3].I, after[2].I)
+	}
+}

@@ -1,0 +1,205 @@
+// Package core implements the CloudyBench benchmark itself: the sales
+// microservice schema and data generator (paper §II-A), the T1–T4 OLTP
+// transactions of Table II, the uniform/latest access distributions, the
+// workload manager with runtime-variable concurrency (the mechanism under
+// every elasticity and multi-tenancy pattern), and the performance
+// collector.
+//
+// The scaling model follows the paper: CUSTOMER and ORDERS both hold
+// 300,000 rows per scale factor, and ORDERLINE is an order of magnitude
+// larger. Base rows are materialized deterministically by id, so SF100's
+// ~20 GB exists virtually and only written rows consume memory.
+package core
+
+import (
+	"time"
+
+	"cloudybench/internal/engine"
+	"cloudybench/internal/rng"
+)
+
+// Table names.
+const (
+	TableCustomer  = "customer"
+	TableOrders    = "orders"
+	TableOrderline = "orderline"
+)
+
+// Rows-per-scale-factor constants (paper §II-A).
+const (
+	CustomersPerSF  = 300_000
+	OrdersPerSF     = 300_000
+	OrderlinesPerSF = 3_000_000 // "an order of magnitude larger"
+)
+
+// Physical row-size estimates chosen so SF1 lands near the paper's 194 MB
+// raw size: 300k*120 + 300k*100 + 3M*48 ≈ 210 MB.
+const (
+	customerRowBytes  = 120
+	ordersRowBytes    = 100
+	orderlineRowBytes = 48
+)
+
+// Order status values.
+const (
+	StatusNew  = "NEW"
+	StatusPaid = "PAID"
+)
+
+// CustomerSchema returns the CUSTOMER table schema.
+func CustomerSchema() *engine.Schema {
+	return &engine.Schema{
+		Name: TableCustomer,
+		Cols: []engine.Column{
+			{Name: "C_ID", Kind: engine.KindInt},
+			{Name: "C_NAME", Kind: engine.KindString},
+			{Name: "C_CREDIT", Kind: engine.KindFloat},
+			{Name: "C_UPDATEDDATE", Kind: engine.KindInt},
+		},
+		KeyCols:     []int{0},
+		AvgRowBytes: customerRowBytes,
+	}
+}
+
+// OrdersSchema returns the ORDERS table schema.
+func OrdersSchema() *engine.Schema {
+	return &engine.Schema{
+		Name: TableOrders,
+		Cols: []engine.Column{
+			{Name: "O_ID", Kind: engine.KindInt},
+			{Name: "O_C_ID", Kind: engine.KindInt},
+			{Name: "O_TOTALAMOUNT", Kind: engine.KindFloat},
+			{Name: "O_DATE", Kind: engine.KindInt},
+			{Name: "O_STATUS", Kind: engine.KindString},
+			{Name: "O_UPDATEDDATE", Kind: engine.KindInt},
+		},
+		KeyCols:     []int{0},
+		AvgRowBytes: ordersRowBytes,
+	}
+}
+
+// OrderlineSchema returns the ORDERLINE table schema.
+func OrderlineSchema() *engine.Schema {
+	return &engine.Schema{
+		Name: TableOrderline,
+		Cols: []engine.Column{
+			{Name: "OL_ID", Kind: engine.KindInt},
+			{Name: "OL_O_ID", Kind: engine.KindInt},
+			{Name: "OL_PRODUCT", Kind: engine.KindString},
+			{Name: "OL_QUANTITY", Kind: engine.KindInt},
+			{Name: "OL_AMOUNT", Kind: engine.KindFloat},
+		},
+		KeyCols:     []int{0},
+		AvgRowBytes: orderlineRowBytes,
+	}
+}
+
+// Dataset describes one generated database at a scale factor.
+type Dataset struct {
+	SF         int
+	Seed       int64
+	Customers  int64
+	Orders     int64
+	Orderlines int64
+}
+
+// NewDataset returns the dataset description for a scale factor.
+func NewDataset(sf int, seed int64) Dataset {
+	if sf < 1 {
+		sf = 1
+	}
+	return Dataset{
+		SF:         sf,
+		Seed:       seed,
+		Customers:  int64(sf) * CustomersPerSF,
+		Orders:     int64(sf) * OrdersPerSF,
+		Orderlines: int64(sf) * OrderlinesPerSF,
+	}
+}
+
+// RawBytes estimates the raw data size (the paper reports 194 MB, 1.99 GB,
+// and 20.8 GB for SF1/10/100).
+func (d Dataset) RawBytes() int64 {
+	return d.Customers*customerRowBytes + d.Orders*ordersRowBytes + d.Orderlines*orderlineRowBytes
+}
+
+// baseDate is the synthetic load timestamp embedded in generated rows.
+var baseDate = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC).UnixMicro()
+
+// Per-table stream tags for the Quick derivation.
+const (
+	tagCustomer  = 0xC057
+	tagOrders    = 0x04DE
+	tagOrderline = 0x01AE
+)
+
+// CustomerGen returns the deterministic CUSTOMER row generator.
+func (d Dataset) CustomerGen() engine.RowGen {
+	seed := d.Seed
+	return func(id int64) engine.Row {
+		r := rng.QuickOf(seed, tagCustomer, id)
+		return engine.Row{
+			engine.Int(id),
+			engine.Str("cust-" + r.Letters(8)),
+			engine.Float(float64(r.IntRange(0, 50_000))),
+			engine.Int(baseDate),
+		}
+	}
+}
+
+// OrdersGen returns the deterministic ORDERS row generator. Customer
+// references are spread uniformly; ~70% of historical orders are PAID.
+func (d Dataset) OrdersGen() engine.RowGen {
+	seed := d.Seed
+	customers := d.Customers
+	return func(id int64) engine.Row {
+		r := rng.QuickOf(seed, tagOrders, id)
+		status := StatusPaid
+		if r.Float64() < 0.3 {
+			status = StatusNew
+		}
+		return engine.Row{
+			engine.Int(id),
+			engine.Int(1 + r.Int63n(customers)),
+			engine.Float(float64(r.IntRange(1, 10_000)) / 100),
+			engine.Int(baseDate - r.Int63n(86_400_000_000*365)),
+			engine.Str(status),
+			engine.Int(baseDate),
+		}
+	}
+}
+
+// OrderlineGen returns the deterministic ORDERLINE row generator. Each base
+// order owns ten consecutive orderlines.
+func (d Dataset) OrderlineGen() engine.RowGen {
+	seed := d.Seed
+	orders := d.Orders
+	return func(id int64) engine.Row {
+		r := rng.QuickOf(seed, tagOrderline, id)
+		orderID := (id-1)/10 + 1
+		if orderID > orders {
+			orderID = orders
+		}
+		return engine.Row{
+			engine.Int(id),
+			engine.Int(orderID),
+			engine.Str("sku-" + r.Letters(6)),
+			engine.Int(r.IntRange(1, 9)),
+			engine.Float(float64(r.IntRange(100, 99_99)) / 100),
+		}
+	}
+}
+
+// CreateTables registers the three sales-service tables on a database.
+func (d Dataset) CreateTables(db *engine.DB) error {
+	if _, err := db.CreateTable(CustomerSchema(), d.Customers, d.CustomerGen()); err != nil {
+		return err
+	}
+	if _, err := db.CreateTable(OrdersSchema(), d.Orders, d.OrdersGen()); err != nil {
+		return err
+	}
+	if _, err := db.CreateTable(OrderlineSchema(), d.Orderlines, d.OrderlineGen()); err != nil {
+		return err
+	}
+	return nil
+}

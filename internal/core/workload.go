@@ -1,0 +1,300 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"cloudybench/internal/engine"
+	"cloudybench/internal/node"
+	"cloudybench/internal/rng"
+	"cloudybench/internal/sim"
+)
+
+// Mix is a transaction weighting. The paper's configurations express
+// (t1:t2:t3) ratios for throughput experiments and (I,U,D) ratios — mapped
+// to (T1, T2, T4) — for lag-time experiments.
+type Mix struct {
+	T1, T2, T3, T4 float64
+}
+
+// ParseMix parses a "t1:t2:t3" ratio string such as "15:5:80".
+func ParseMix(s string) (Mix, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return Mix{}, fmt.Errorf("core: mix %q must have three parts t1:t2:t3", s)
+	}
+	var vals [3]float64
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || v < 0 {
+			return Mix{}, fmt.Errorf("core: bad mix component %q", p)
+		}
+		vals[i] = v
+	}
+	m := Mix{T1: vals[0], T2: vals[1], T3: vals[2]}
+	if m.T1+m.T2+m.T3 == 0 {
+		return Mix{}, fmt.Errorf("core: mix %q is all zero", s)
+	}
+	return m, nil
+}
+
+// Canonical paper mixes (§III-A): (t1:t2:t3) in {(0:0:100), (15:5:80), (100:0:0)}.
+var (
+	MixReadOnly  = Mix{T3: 100}
+	MixReadWrite = Mix{T1: 15, T2: 5, T3: 80}
+	MixWriteOnly = Mix{T1: 100}
+)
+
+// IUDMix builds the lag-time evaluation mix from insert/update/delete
+// percentages (paper §III-F), mapping I->T1, U->T2, D->T4.
+func IUDMix(i, u, d float64) Mix { return Mix{T1: i, T2: u, T4: d} }
+
+func (m Mix) weights() []float64 { return []float64{m.T1, m.T2, m.T3, m.T4} }
+
+// IsReadOnly reports whether the mix performs no writes.
+func (m Mix) IsReadOnly() bool { return m.T1 == 0 && m.T2 == 0 && m.T4 == 0 }
+
+// String renders the mix as "t1:t2:t3(:t4)".
+func (m Mix) String() string {
+	if m.T4 == 0 {
+		return fmt.Sprintf("%g:%g:%g", m.T1, m.T2, m.T3)
+	}
+	return fmt.Sprintf("%g:%g:%g:%g", m.T1, m.T2, m.T3, m.T4)
+}
+
+// Config parameterizes a workload runner.
+type Config struct {
+	Name string
+	Seed int64
+	Mix  Mix
+	// Distribution is "uniform" or "latest" (paper §II-B); LatestK bounds
+	// the access range for the latest distribution (default 10).
+	Distribution string
+	LatestK      int64
+	// Write returns the node for read-write transactions (the current RW —
+	// a function so fail-over promotion redirects traffic).
+	Write func() *node.Node
+	// Read returns the node for read-only transactions (round-robin RO).
+	Read func() *node.Node
+	// Collector receives commits/errors; required.
+	Collector *Collector
+	// RetryBackoff is the client pause after a failed request (node down),
+	// matching a driver's reconnect loop. Default 100 ms.
+	RetryBackoff time.Duration
+}
+
+// Runner drives a workload at a runtime-variable concurrency: the
+// elasticity and multi-tenancy evaluators reshape traffic by calling
+// SetConcurrency at slot boundaries.
+type Runner struct {
+	s     *sim.Sim
+	cfg   Config
+	group *sim.Group
+
+	target     int
+	spawned    int
+	stopped    bool
+	activeCond *sim.Cond
+}
+
+// NewRunner creates a stopped runner; call SetConcurrency to start traffic.
+func NewRunner(s *sim.Sim, cfg Config) *Runner {
+	if cfg.Collector == nil {
+		panic("core: Runner requires a Collector")
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 100 * time.Millisecond
+	}
+	if cfg.Distribution == "" {
+		cfg.Distribution = "uniform"
+	}
+	if cfg.LatestK <= 0 {
+		cfg.LatestK = 10
+	}
+	return &Runner{s: s, cfg: cfg, group: sim.NewGroup(s), activeCond: sim.NewCond(s)}
+}
+
+// SetConcurrency reshapes the worker pool to n. Increases spawn fresh
+// workers immediately; decreases take effect as surplus workers finish
+// their current transaction.
+func (r *Runner) SetConcurrency(n int) {
+	if n < 0 {
+		n = 0
+	}
+	r.target = n
+	for r.spawned < n {
+		idx := r.spawned
+		r.spawned++
+		w := &worker{
+			r:   r,
+			idx: idx,
+			src: rng.ChildOf(r.cfg.Seed, fmt.Sprintf("%s/w%d", r.cfg.Name, idx)),
+		}
+		w.dist = r.makeDist(w.src)
+		r.group.Go(fmt.Sprintf("%s/w%d", r.cfg.Name, idx), w.run)
+	}
+}
+
+func (r *Runner) makeDist(src *rng.Source) rng.Dist {
+	switch r.cfg.Distribution {
+	case "latest":
+		return &rng.Latest{Src: src, K: r.cfg.LatestK}
+	case "zipf":
+		return &rng.Zipf{Src: src, Theta: 1.1}
+	default:
+		return &rng.Uniform{Src: src}
+	}
+}
+
+// Concurrency returns the current target concurrency.
+func (r *Runner) Concurrency() int { return r.target }
+
+// Stop terminates all workers (after their current transaction).
+func (r *Runner) Stop() {
+	r.stopped = true
+	r.target = 0
+}
+
+// Wait blocks until every spawned worker has exited.
+func (r *Runner) Wait(p *sim.Proc) { r.group.Wait(p) }
+
+type worker struct {
+	r    *Runner
+	idx  int
+	src  *rng.Source
+	dist rng.Dist
+}
+
+func (w *worker) run(p *sim.Proc) {
+	cfg := &w.r.cfg
+	weights := cfg.Mix.weights()
+	for {
+		if w.r.stopped || w.idx >= w.r.target {
+			return
+		}
+		typ := TxnType(w.src.PickWeighted(weights) + 1)
+		start := p.Elapsed()
+		err := w.execute(p, typ)
+		switch {
+		case err == nil:
+			cfg.Collector.RecordCommit(typ, p.Elapsed(), p.Elapsed()-start)
+		case errors.Is(err, node.ErrNodeDown):
+			cfg.Collector.RecordError(p.Elapsed())
+			p.Sleep(cfg.RetryBackoff)
+		default:
+			cfg.Collector.RecordError(p.Elapsed())
+		}
+	}
+}
+
+// execute runs one transaction of the given type. A nil error means the
+// transaction committed.
+func (w *worker) execute(p *sim.Proc, typ TxnType) error {
+	switch typ {
+	case T1NewOrderline:
+		return w.t1NewOrderline(p)
+	case T2OrderPayment:
+		return w.t2OrderPayment(p)
+	case T3OrderStatus:
+		return w.t3OrderStatus(p)
+	case T4OrderlineDeletion:
+		return w.t4OrderlineDeletion(p)
+	}
+	return fmt.Errorf("core: unknown transaction %d", typ)
+}
+
+// t1NewOrderline: INSERT INTO orderline VALUES (DEFAULT, ?,?,?,?).
+func (w *worker) t1NewOrderline(p *sim.Proc) error {
+	n := w.r.cfg.Write()
+	tx, err := n.Begin(p)
+	if err != nil {
+		return err
+	}
+	orders := n.DB.Table(TableOrders)
+	ol := n.DB.Table(TableOrderline)
+	oid := w.dist.Next(orders.MaxID())
+	row := engine.Row{
+		engine.Int(ol.NextAutoID()),
+		engine.Int(oid),
+		engine.Str("sku-" + w.src.Letters(6)),
+		engine.Int(w.src.IntRange(1, 9)),
+		engine.Float(float64(w.src.IntRange(100, 99_99)) / 100),
+	}
+	if err := tx.Insert(ol, row); err != nil {
+		tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}
+
+// t2OrderPayment: select the order, mark it paid, credit the customer.
+func (w *worker) t2OrderPayment(p *sim.Proc) error {
+	n := w.r.cfg.Write()
+	tx, err := n.Begin(p)
+	if err != nil {
+		return err
+	}
+	orders := n.DB.Table(TableOrders)
+	customers := n.DB.Table(TableCustomer)
+	oid := w.dist.Next(orders.MaxID())
+	now := engine.Int(p.Now().UnixMicro())
+
+	row, err := tx.GetForUpdate(orders, engine.IntKey(oid))
+	if errors.Is(err, engine.ErrRowNotFound) {
+		return tx.Commit() // order vanished: empty but successful payment check
+	}
+	if err != nil {
+		tx.Abort()
+		return err
+	}
+	upd := row.Clone()
+	upd[4] = engine.Str(StatusPaid)
+	upd[5] = now
+	if err := tx.Update(orders, engine.IntKey(oid), upd); err != nil {
+		tx.Abort()
+		return err
+	}
+	cid := row[1].I
+	crow, err := tx.GetForUpdate(customers, engine.IntKey(cid))
+	if err != nil {
+		tx.Abort()
+		return err
+	}
+	cupd := crow.Clone()
+	cupd[2] = engine.Float(crow[2].F + row[2].F)
+	cupd[3] = now
+	if err := tx.Update(customers, engine.IntKey(cid), cupd); err != nil {
+		tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}
+
+// t3OrderStatus: SELECT O_ID, O_DATE, O_STATUS FROM orders WHERE O_ID = ?,
+// served by a read-only node.
+func (w *worker) t3OrderStatus(p *sim.Proc) error {
+	n := w.r.cfg.Read()
+	orders := n.DB.Table(TableOrders)
+	oid := w.dist.Next(orders.MaxID())
+	_, _, err := n.Read(p, TableOrders, engine.IntKey(oid))
+	return err
+}
+
+// t4OrderlineDeletion: DELETE FROM orderline WHERE OL_ID = ?.
+func (w *worker) t4OrderlineDeletion(p *sim.Proc) error {
+	n := w.r.cfg.Write()
+	tx, err := n.Begin(p)
+	if err != nil {
+		return err
+	}
+	ol := n.DB.Table(TableOrderline)
+	olid := w.dist.Next(ol.MaxID())
+	if err := tx.Delete(ol, engine.IntKey(olid)); err != nil && !errors.Is(err, engine.ErrRowNotFound) {
+		tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}

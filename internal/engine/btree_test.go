@@ -1,0 +1,276 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBTreeBasicSetGetDelete(t *testing.T) {
+	bt := NewBTree[string]()
+	if _, ok := bt.Get(IntKey(1)); ok {
+		t.Fatal("empty tree returned a value")
+	}
+	if old, replaced := bt.Set(IntKey(1), "a"); replaced || old != "" {
+		t.Fatal("fresh set reported replacement")
+	}
+	if old, replaced := bt.Set(IntKey(1), "b"); !replaced || old != "a" {
+		t.Fatalf("replace returned %q/%v", old, replaced)
+	}
+	if v, ok := bt.Get(IntKey(1)); !ok || v != "b" {
+		t.Fatalf("get = %q/%v", v, ok)
+	}
+	if bt.Len() != 1 {
+		t.Fatalf("len = %d, want 1", bt.Len())
+	}
+	if old, deleted := bt.Delete(IntKey(1)); !deleted || old != "b" {
+		t.Fatalf("delete = %q/%v", old, deleted)
+	}
+	if bt.Len() != 0 {
+		t.Fatalf("len after delete = %d", bt.Len())
+	}
+	if _, deleted := bt.Delete(IntKey(1)); deleted {
+		t.Fatal("double delete reported success")
+	}
+}
+
+func TestBTreeLargeSequentialAndReverse(t *testing.T) {
+	for name, order := range map[string]func(i, n int) int64{
+		"ascending":  func(i, n int) int64 { return int64(i) },
+		"descending": func(i, n int) int64 { return int64(n - i) },
+	} {
+		bt := NewBTree[int64]()
+		const n = 10000
+		for i := 0; i < n; i++ {
+			id := order(i, n)
+			bt.Set(IntKey(id), id*10)
+		}
+		if bt.Len() != n {
+			t.Fatalf("%s: len = %d, want %d", name, bt.Len(), n)
+		}
+		for i := 0; i < n; i++ {
+			id := order(i, n)
+			v, ok := bt.Get(IntKey(id))
+			if !ok || v != id*10 {
+				t.Fatalf("%s: get(%d) = %d/%v", name, id, v, ok)
+			}
+		}
+	}
+}
+
+func TestBTreeMinMax(t *testing.T) {
+	bt := NewBTree[int]()
+	if _, _, ok := bt.Min(); ok {
+		t.Fatal("Min on empty tree")
+	}
+	if _, _, ok := bt.Max(); ok {
+		t.Fatal("Max on empty tree")
+	}
+	for _, id := range []int64{5, 1, 9, 3, 7} {
+		bt.Set(IntKey(id), int(id))
+	}
+	if k, v, ok := bt.Min(); !ok || v != 1 {
+		t.Fatalf("Min = %v %d %v", k, v, ok)
+	}
+	if k, v, ok := bt.Max(); !ok || v != 9 {
+		t.Fatalf("Max = %v %d %v", k, v, ok)
+	}
+}
+
+func TestBTreeAscendRange(t *testing.T) {
+	bt := NewBTree[int64]()
+	for i := int64(1); i <= 100; i++ {
+		bt.Set(IntKey(i), i)
+	}
+	var got []int64
+	bt.AscendRange(IntKey(10), IntKey(20), func(k Key, v int64) bool {
+		got = append(got, v)
+		return true
+	})
+	if len(got) != 10 || got[0] != 10 || got[9] != 19 {
+		t.Fatalf("range [10,20) = %v", got)
+	}
+	// Full scan in order.
+	got = got[:0]
+	bt.AscendRange(nil, nil, func(k Key, v int64) bool {
+		got = append(got, v)
+		return true
+	})
+	if len(got) != 100 {
+		t.Fatalf("full scan returned %d keys", len(got))
+	}
+	for i, v := range got {
+		if v != int64(i+1) {
+			t.Fatalf("scan out of order at %d: %d", i, v)
+		}
+	}
+	// Early stop.
+	count := 0
+	bt.AscendRange(nil, nil, func(k Key, v int64) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestBTreeRandomizedAgainstMap(t *testing.T) {
+	r := rand.New(rand.NewSource(12345))
+	bt := NewBTree[int64]()
+	ref := make(map[int64]int64)
+	const ops = 50000
+	for i := 0; i < ops; i++ {
+		id := int64(r.Intn(2000))
+		switch r.Intn(3) {
+		case 0, 1: // set twice as often as delete
+			v := int64(i)
+			_, replaced := bt.Set(IntKey(id), v)
+			if _, exists := ref[id]; exists != replaced {
+				t.Fatalf("op %d: replaced=%v, ref exists=%v", i, replaced, exists)
+			}
+			ref[id] = v
+		case 2:
+			old, deleted := bt.Delete(IntKey(id))
+			refOld, exists := ref[id]
+			if deleted != exists {
+				t.Fatalf("op %d: deleted=%v, ref exists=%v", i, deleted, exists)
+			}
+			if deleted && old != refOld {
+				t.Fatalf("op %d: deleted value %d, ref %d", i, old, refOld)
+			}
+			delete(ref, id)
+		}
+		if bt.Len() != len(ref) {
+			t.Fatalf("op %d: len=%d ref=%d", i, bt.Len(), len(ref))
+		}
+	}
+	// Final full verification including iteration order.
+	var ids []int64
+	for id := range ref {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var scanned []int64
+	bt.AscendRange(nil, nil, func(k Key, v int64) bool {
+		id, ok := DecodeIntKey(k)
+		if !ok {
+			t.Fatal("bad key in scan")
+		}
+		scanned = append(scanned, id)
+		return true
+	})
+	if len(scanned) != len(ids) {
+		t.Fatalf("scan count %d, ref %d", len(scanned), len(ids))
+	}
+	for i := range ids {
+		if scanned[i] != ids[i] {
+			t.Fatalf("scan[%d] = %d, want %d", i, scanned[i], ids[i])
+		}
+	}
+}
+
+func TestBTreePropertySetDeleteSequences(t *testing.T) {
+	check := func(seed int64, nOps uint16) bool {
+		r := rand.New(rand.NewSource(seed))
+		bt := NewBTree[int]()
+		ref := make(map[int64]int)
+		n := int(nOps%500) + 100
+		for i := 0; i < n; i++ {
+			id := int64(r.Intn(100))
+			if r.Intn(2) == 0 {
+				bt.Set(IntKey(id), i)
+				ref[id] = i
+			} else {
+				bt.Delete(IntKey(id))
+				delete(ref, id)
+			}
+		}
+		if bt.Len() != len(ref) {
+			return false
+		}
+		for id, v := range ref {
+			got, ok := bt.Get(IntKey(id))
+			if !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBTreeCompositeStringKeys(t *testing.T) {
+	bt := NewBTree[string]()
+	keys := []Key{
+		EncodeKey(Int(1), Str("alpha")),
+		EncodeKey(Int(1), Str("beta")),
+		EncodeKey(Int(2), Str("alpha")),
+		EncodeKey(Str("z")),
+	}
+	for i, k := range keys {
+		bt.Set(k, fmt.Sprint(i))
+	}
+	for i, k := range keys {
+		v, ok := bt.Get(k)
+		if !ok || v != fmt.Sprint(i) {
+			t.Fatalf("composite key %d: %q/%v", i, v, ok)
+		}
+	}
+	// Range over (1, *) picks exactly the two int-1 keys.
+	var got []string
+	bt.AscendRange(EncodeKey(Int(1)), EncodeKey(Int(2)), func(k Key, v string) bool {
+		got = append(got, v)
+		return true
+	})
+	if len(got) != 2 || got[0] != "0" || got[1] != "1" {
+		t.Fatalf("prefix range = %v", got)
+	}
+}
+
+func TestKeyEncodingOrder(t *testing.T) {
+	// Encoded comparison must match semantic comparison for ints including
+	// negatives, and for strings including embedded zero bytes and prefixes.
+	intCases := []int64{-1 << 62, -100, -1, 0, 1, 7, 1 << 40}
+	for i := 1; i < len(intCases); i++ {
+		a, b := IntKey(intCases[i-1]), IntKey(intCases[i])
+		if string(a) >= string(b) {
+			t.Fatalf("int key order broken: %d !< %d", intCases[i-1], intCases[i])
+		}
+	}
+	strCases := []string{"", "a", "a\x00", "a\x00b", "ab", "b"}
+	for i := 1; i < len(strCases); i++ {
+		a := EncodeKey(Str(strCases[i-1]))
+		b := EncodeKey(Str(strCases[i]))
+		if string(a) >= string(b) {
+			t.Fatalf("string key order broken: %q !< %q", strCases[i-1], strCases[i])
+		}
+	}
+}
+
+func TestKeyIntRoundTrip(t *testing.T) {
+	check := func(v int64) bool {
+		got, ok := DecodeIntKey(IntKey(v))
+		return ok && got == v
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := DecodeIntKey(EncodeKey(Str("x"))); ok {
+		t.Fatal("string key decoded as int")
+	}
+	if _, ok := DecodeIntKey(EncodeKey(Int(1), Int(2))); ok {
+		t.Fatal("composite key decoded as single int")
+	}
+}
+
+func TestKeyString(t *testing.T) {
+	k := EncodeKey(Int(42), Str("ol"), Null())
+	if got := k.String(); got != "42/ol/NULL" {
+		t.Fatalf("Key.String() = %q", got)
+	}
+}

@@ -1,0 +1,333 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"cloudybench/internal/sim"
+	"cloudybench/internal/storage"
+)
+
+// DB is one database instance: a catalog of tables, a lock table, and a
+// write-ahead log. The read-write node owns the authoritative DB; each
+// read-only replica owns a separate DB instance (same schemas and
+// generators) that applies shipped WAL records via Apply.
+type DB struct {
+	sim    *sim.Sim
+	byName map[string]*Table
+	byID   map[storage.TableID]*Table
+	locks  *LockTable
+	log    *storage.Log
+
+	nextTxn     uint64
+	nextTableID storage.TableID
+
+	commits int64
+	aborts  int64
+}
+
+// NewDB returns an empty database bound to the simulation.
+func NewDB(s *sim.Sim) *DB {
+	return &DB{
+		sim:    s,
+		byName: make(map[string]*Table),
+		byID:   make(map[storage.TableID]*Table),
+		locks:  NewLockTable(s),
+		log:    storage.NewLog(),
+	}
+}
+
+// CreateTable registers a table with the given schema and generator-backed
+// base rows (baseRows may be zero).
+func (db *DB) CreateTable(schema *Schema, baseRows int64, gen RowGen) (*Table, error) {
+	if _, exists := db.byName[schema.Name]; exists {
+		return nil, fmt.Errorf("engine: table %s already exists", schema.Name)
+	}
+	db.nextTableID++
+	t, err := NewTable(db.nextTableID, schema, baseRows, gen)
+	if err != nil {
+		return nil, err
+	}
+	db.byName[schema.Name] = t
+	db.byID[t.ID] = t
+	return t, nil
+}
+
+// MustCreateTable is CreateTable that panics on error (setup code).
+func (db *DB) MustCreateTable(schema *Schema, baseRows int64, gen RowGen) *Table {
+	t, err := db.CreateTable(schema, baseRows, gen)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Table returns the named table, or nil.
+func (db *DB) Table(name string) *Table { return db.byName[name] }
+
+// Tables returns all tables in creation order is not guaranteed; callers
+// needing order should track names themselves.
+func (db *DB) Tables() map[string]*Table { return db.byName }
+
+// Log returns the database's WAL (the RW node's replication source).
+func (db *DB) Log() *storage.Log { return db.log }
+
+// Locks exposes the lock table (tests and tuning).
+func (db *DB) Locks() *LockTable { return db.locks }
+
+// Stats returns commit and abort counts.
+func (db *DB) Stats() (commits, aborts int64) { return db.commits, db.aborts }
+
+// Read performs a lock-free snapshot read, the path replicas use to serve
+// read-only queries at their current replay position.
+func (db *DB) Read(table string, k Key) (Row, storage.PageID, bool) {
+	t := db.byName[table]
+	if t == nil {
+		return nil, storage.PageID{}, false
+	}
+	return t.Get(k)
+}
+
+// Apply replays one shipped WAL record into this (replica) instance.
+// Commit, begin, abort, and checkpoint records are no-ops at the data layer.
+func (db *DB) Apply(rec storage.Record) error {
+	switch rec.Type {
+	case storage.RecInsert, storage.RecUpdate, storage.RecDelete:
+	default:
+		return nil
+	}
+	t := db.byID[rec.Table]
+	if t == nil {
+		return fmt.Errorf("engine: replay for unknown table id %d", rec.Table)
+	}
+	key := Key(rec.Key)
+	switch rec.Type {
+	case storage.RecInsert:
+		row, err := DecodeRow(rec.Image)
+		if err != nil {
+			return fmt.Errorf("engine: replay insert: %w", err)
+		}
+		t.InsertAt(key, row, rec.Page)
+	case storage.RecUpdate:
+		row, err := DecodeRow(rec.Image)
+		if err != nil {
+			return fmt.Errorf("engine: replay update: %w", err)
+		}
+		t.UpdateAt(key, row, rec.Page)
+	case storage.RecDelete:
+		t.DeleteAt(key, rec.Page)
+	}
+	return nil
+}
+
+// ErrTxnDone is returned when using a committed or aborted transaction.
+var ErrTxnDone = errors.New("engine: transaction already finished")
+
+type undoEntry struct {
+	table   *Table
+	key     Key
+	prior   Row
+	page    storage.PageID
+	existed bool
+}
+
+// Txn is a read-write transaction under strict two-phase locking: locks are
+// held until commit or abort, updates apply in place with undo images, and
+// the redo stream is appended to the WAL at commit (so replicas only ever
+// see committed changes).
+type Txn struct {
+	db      *DB
+	p       *sim.Proc
+	id      uint64
+	done    bool
+	lockSet map[string]struct{}
+	lockSeq []string
+	undo    []undoEntry
+	pending []storage.Record
+}
+
+// Begin starts a transaction executed by process p.
+func (db *DB) Begin(p *sim.Proc) *Txn {
+	db.nextTxn++
+	return &Txn{db: db, p: p, id: db.nextTxn, lockSet: make(map[string]struct{})}
+}
+
+// ID returns the transaction id.
+func (t *Txn) ID() uint64 { return t.id }
+
+func lockKey(table *Table, k Key) string {
+	return table.Schema.Name + "\x00" + string(k)
+}
+
+func (t *Txn) acquire(table *Table, k Key, mode LockMode) error {
+	lk := lockKey(table, k)
+	if err := t.db.locks.Acquire(t.p, t.id, lk, mode); err != nil {
+		return err
+	}
+	if _, held := t.lockSet[lk]; !held {
+		t.lockSet[lk] = struct{}{}
+		t.lockSeq = append(t.lockSeq, lk)
+	}
+	return nil
+}
+
+// Get reads the row under k with a shared lock, returning the row and the
+// page it lives on (for the caller's buffer accounting). A missing row
+// returns ErrRowNotFound with the page that was probed.
+func (t *Txn) Get(table *Table, k Key) (Row, storage.PageID, error) {
+	if t.done {
+		return nil, storage.PageID{}, ErrTxnDone
+	}
+	if err := t.acquire(table, k, LockShared); err != nil {
+		return nil, storage.PageID{}, err
+	}
+	row, page, ok := table.Get(k)
+	if !ok {
+		return nil, page, ErrRowNotFound
+	}
+	return row, page, nil
+}
+
+// GetForUpdate reads the row under k with an exclusive lock, the
+// read-modify-write pattern for contended rows (acquiring S first and
+// upgrading would deadlock two concurrent writers of the same row).
+func (t *Txn) GetForUpdate(table *Table, k Key) (Row, storage.PageID, error) {
+	if t.done {
+		return nil, storage.PageID{}, ErrTxnDone
+	}
+	if err := t.acquire(table, k, LockExclusive); err != nil {
+		return nil, storage.PageID{}, err
+	}
+	row, page, ok := table.Get(k)
+	if !ok {
+		return nil, page, ErrRowNotFound
+	}
+	return row, page, nil
+}
+
+// Insert adds a new row (primary key taken from the row per schema).
+func (t *Txn) Insert(table *Table, row Row) (storage.PageID, error) {
+	if t.done {
+		return storage.PageID{}, ErrTxnDone
+	}
+	k := table.Schema.KeyOf(row)
+	if err := t.acquire(table, k, LockExclusive); err != nil {
+		return storage.PageID{}, err
+	}
+	page, err := table.Insert(k, row)
+	if err != nil {
+		return storage.PageID{}, err
+	}
+	t.undo = append(t.undo, undoEntry{table: table, key: k, page: page, existed: false})
+	t.pending = append(t.pending, storage.Record{
+		Type:  storage.RecInsert,
+		Txn:   t.id,
+		Table: table.ID,
+		Page:  page,
+		Key:   []byte(k),
+		Image: EncodeRow(nil, row),
+	})
+	return page, nil
+}
+
+// Update replaces the row under k.
+func (t *Txn) Update(table *Table, k Key, row Row) (storage.PageID, error) {
+	if t.done {
+		return storage.PageID{}, ErrTxnDone
+	}
+	if err := t.acquire(table, k, LockExclusive); err != nil {
+		return storage.PageID{}, err
+	}
+	page, old, err := table.Update(k, row)
+	if err != nil {
+		return page, err
+	}
+	t.undo = append(t.undo, undoEntry{table: table, key: k, prior: old, page: page, existed: true})
+	t.pending = append(t.pending, storage.Record{
+		Type:  storage.RecUpdate,
+		Txn:   t.id,
+		Table: table.ID,
+		Page:  page,
+		Key:   []byte(k),
+		Image: EncodeRow(nil, row),
+	})
+	return page, nil
+}
+
+// Delete removes the row under k.
+func (t *Txn) Delete(table *Table, k Key) (storage.PageID, error) {
+	if t.done {
+		return storage.PageID{}, ErrTxnDone
+	}
+	if err := t.acquire(table, k, LockExclusive); err != nil {
+		return storage.PageID{}, err
+	}
+	page, old, err := table.Delete(k)
+	if err != nil {
+		return page, err
+	}
+	t.undo = append(t.undo, undoEntry{table: table, key: k, prior: old, page: page, existed: true})
+	t.pending = append(t.pending, storage.Record{
+		Type:  storage.RecDelete,
+		Txn:   t.id,
+		Table: table.ID,
+		Page:  page,
+		Key:   []byte(k),
+	})
+	return page, nil
+}
+
+// Commit appends the transaction's redo records plus a commit record to the
+// WAL, releases all locks, and returns the appended records (the caller
+// charges log-write and shipping costs from their sizes). Read-only
+// transactions append nothing.
+func (t *Txn) Commit() ([]storage.Record, error) {
+	if t.done {
+		return nil, ErrTxnDone
+	}
+	t.done = true
+	var appended []storage.Record
+	if len(t.pending) > 0 {
+		appended = make([]storage.Record, 0, len(t.pending)+1)
+		for _, rec := range t.pending {
+			rec.LSN = 0
+			lsn := t.db.log.Append(rec)
+			rec.LSN = lsn
+			appended = append(appended, rec)
+		}
+		commit := storage.Record{Type: storage.RecCommit, Txn: t.id}
+		commit.LSN = t.db.log.Append(commit)
+		appended = append(appended, commit)
+	}
+	t.db.locks.ReleaseAll(t.id, t.lockSeq)
+	t.db.commits++
+	return appended, nil
+}
+
+// Abort rolls back every change in reverse order and releases all locks.
+func (t *Txn) Abort() error {
+	if t.done {
+		return ErrTxnDone
+	}
+	t.done = true
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		u := t.undo[i]
+		u.table.undoSet(u.key, u.prior, u.page, u.existed)
+	}
+	t.db.locks.ReleaseAll(t.id, t.lockSeq)
+	t.db.aborts++
+	return nil
+}
+
+// WALBytes returns the encoded size of the records a commit would write,
+// used by nodes to pre-charge group-commit latency.
+func (t *Txn) WALBytes() int {
+	total := 0
+	for i := range t.pending {
+		total += t.pending[i].Size()
+	}
+	if len(t.pending) > 0 {
+		total += (&storage.Record{Type: storage.RecCommit}).Size()
+	}
+	return total
+}

@@ -1,0 +1,106 @@
+package engine
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Key is a memcomparable encoding of one or more values: bytes.Compare on
+// encoded keys agrees with value-wise comparison. This lets one B-tree type
+// serve both CloudyBench's dense int64 primary keys and TPC-C's composite
+// (warehouse, district, id) keys.
+type Key []byte
+
+// Key encoding tags, chosen so NULL < INT < STRING in encoded order.
+const (
+	tagNull   byte = 0x01
+	tagInt    byte = 0x02
+	tagString byte = 0x03
+)
+
+// EncodeKey builds a memcomparable key from the given values.
+func EncodeKey(vals ...Value) Key {
+	var k []byte
+	for _, v := range vals {
+		switch v.Kind {
+		case KindNull:
+			k = append(k, tagNull)
+		case KindInt:
+			k = append(k, tagInt)
+			// Flip the sign bit so negative < positive in unsigned order.
+			k = binary.BigEndian.AppendUint64(k, uint64(v.I)^(1<<63))
+		case KindString:
+			k = append(k, tagString)
+			// Escape 0x00 as 0x00 0xFF and terminate with 0x00 0x00 so
+			// prefixes order correctly.
+			for i := 0; i < len(v.S); i++ {
+				c := v.S[i]
+				k = append(k, c)
+				if c == 0x00 {
+					k = append(k, 0xFF)
+				}
+			}
+			k = append(k, 0x00, 0x00)
+		default:
+			panic(fmt.Sprintf("engine: cannot encode kind %v in key", v.Kind))
+		}
+	}
+	return k
+}
+
+// IntKey encodes a single int64 primary key (the common CloudyBench case).
+func IntKey(id int64) Key { return EncodeKey(Int(id)) }
+
+// DecodeIntKey extracts the int64 from a single-column integer key. It
+// reports ok=false for keys of any other shape.
+func DecodeIntKey(k Key) (int64, bool) {
+	if len(k) != 9 || k[0] != tagInt {
+		return 0, false
+	}
+	return int64(binary.BigEndian.Uint64(k[1:]) ^ (1 << 63)), true
+}
+
+// String renders the key for debugging.
+func (k Key) String() string {
+	out := ""
+	buf := []byte(k)
+	for len(buf) > 0 {
+		if out != "" {
+			out += "/"
+		}
+		switch buf[0] {
+		case tagNull:
+			out += "NULL"
+			buf = buf[1:]
+		case tagInt:
+			if len(buf) < 9 {
+				return fmt.Sprintf("%x", []byte(k))
+			}
+			out += fmt.Sprint(int64(binary.BigEndian.Uint64(buf[1:9]) ^ (1 << 63)))
+			buf = buf[9:]
+		case tagString:
+			buf = buf[1:]
+			var s []byte
+			for {
+				if len(buf) == 0 {
+					return fmt.Sprintf("%x", []byte(k))
+				}
+				if buf[0] == 0x00 {
+					if len(buf) >= 2 && buf[1] == 0xFF {
+						s = append(s, 0x00)
+						buf = buf[2:]
+						continue
+					}
+					buf = buf[2:]
+					break
+				}
+				s = append(s, buf[0])
+				buf = buf[1:]
+			}
+			out += string(s)
+		default:
+			return fmt.Sprintf("%x", []byte(k))
+		}
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+package engine
+
+import (
+	"errors"
+	"time"
+
+	"cloudybench/internal/sim"
+)
+
+// LockMode is a row-lock mode under two-phase locking.
+type LockMode uint8
+
+// Lock modes.
+const (
+	LockShared LockMode = iota + 1
+	LockExclusive
+)
+
+func (m LockMode) String() string {
+	if m == LockShared {
+		return "S"
+	}
+	return "X"
+}
+
+// ErrLockTimeout is returned when a lock wait exceeds the lock table's
+// timeout — the engine's deadlock safety net, mirroring real databases'
+// lock_timeout behaviour. Transactions receiving it must abort.
+var ErrLockTimeout = errors.New("engine: lock wait timeout")
+
+// DefaultLockTimeout bounds lock waits. CloudyBench's transactions acquire
+// locks in a globally consistent order, so genuine deadlocks do not occur;
+// the timeout guards against workload-programming mistakes.
+const DefaultLockTimeout = 5 * time.Second
+
+type lockRequest struct {
+	txn     uint64
+	mode    LockMode
+	upgrade bool
+	granted bool
+	timeout bool
+	cond    *sim.Cond
+}
+
+type lockState struct {
+	holders map[uint64]LockMode
+	queue   []*lockRequest
+}
+
+// LockTable is a simulation-aware row lock manager with shared/exclusive
+// modes, FIFO waiting, lock upgrade, and timeout-based deadlock recovery.
+type LockTable struct {
+	s       *sim.Sim
+	locks   map[string]*lockState
+	timeout time.Duration
+
+	waits    int64 // lock acquisitions that had to wait
+	timeouts int64
+}
+
+// NewLockTable returns a lock table bound to the simulation with the
+// default timeout.
+func NewLockTable(s *sim.Sim) *LockTable {
+	return &LockTable{s: s, locks: make(map[string]*lockState), timeout: DefaultLockTimeout}
+}
+
+// SetTimeout overrides the lock-wait timeout.
+func (lt *LockTable) SetTimeout(d time.Duration) { lt.timeout = d }
+
+// compatibleLocked reports whether txn may be granted mode on st right now.
+func (st *lockState) compatible(txn uint64, mode LockMode) bool {
+	for holder, hm := range st.holders {
+		if holder == txn {
+			continue
+		}
+		if mode == LockExclusive || hm == LockExclusive {
+			return false
+		}
+	}
+	return true
+}
+
+// Acquire obtains a lock on key for txn in the given mode, blocking in
+// virtual time behind conflicting holders. Re-acquiring an already-held
+// lock is a no-op; holding S and requesting X upgrades (jumping the queue,
+// as upgrades must to avoid guaranteed deadlock between two upgraders —
+// which the timeout still resolves).
+func (lt *LockTable) Acquire(p *sim.Proc, txn uint64, key string, mode LockMode) error {
+	st, ok := lt.locks[key]
+	if !ok {
+		st = &lockState{holders: make(map[uint64]LockMode)}
+		lt.locks[key] = st
+	}
+	if held, ok := st.holders[txn]; ok && (held == LockExclusive || held == mode) {
+		return nil // already held at sufficient strength
+	}
+	_, upgrade := st.holders[txn]
+	// Grant immediately when compatible and not queue-jumping non-upgrades.
+	if st.compatible(txn, mode) && (upgrade || len(st.queue) == 0) {
+		st.holders[txn] = mode
+		return nil
+	}
+	req := &lockRequest{txn: txn, mode: mode, upgrade: upgrade, cond: sim.NewCond(lt.s)}
+	if upgrade {
+		st.queue = append([]*lockRequest{req}, st.queue...)
+	} else {
+		st.queue = append(st.queue, req)
+	}
+	lt.waits++
+	// Timeout watcher: marks the request dead if it waits too long.
+	lt.s.Go("lock-timeout", func(w *sim.Proc) {
+		w.Sleep(lt.timeout)
+		if req.granted || req.timeout {
+			return
+		}
+		req.timeout = true
+		for i, q := range st.queue {
+			if q == req {
+				st.queue = append(st.queue[:i], st.queue[i+1:]...)
+				break
+			}
+		}
+		lt.timeouts++
+		req.cond.Signal()
+	})
+	for !req.granted && !req.timeout {
+		req.cond.Wait(p)
+	}
+	if req.timeout {
+		return ErrLockTimeout
+	}
+	return nil
+}
+
+// grantWaiters admits queued requests in FIFO order while compatible.
+func (lt *LockTable) grantWaiters(key string, st *lockState) {
+	for len(st.queue) > 0 {
+		req := st.queue[0]
+		if !st.compatible(req.txn, req.mode) {
+			return
+		}
+		st.queue = st.queue[1:]
+		st.holders[req.txn] = req.mode
+		req.granted = true
+		req.cond.Signal()
+	}
+}
+
+// Release drops txn's lock on key, waking eligible waiters.
+func (lt *LockTable) Release(txn uint64, key string) {
+	st, ok := lt.locks[key]
+	if !ok {
+		return
+	}
+	delete(st.holders, txn)
+	lt.grantWaiters(key, st)
+	if len(st.holders) == 0 && len(st.queue) == 0 {
+		delete(lt.locks, key)
+	}
+}
+
+// ReleaseAll drops every lock named in keys for txn (commit/abort).
+func (lt *LockTable) ReleaseAll(txn uint64, keys []string) {
+	for _, k := range keys {
+		lt.Release(txn, k)
+	}
+}
+
+// Stats returns the number of waits and timeouts observed.
+func (lt *LockTable) Stats() (waits, timeouts int64) { return lt.waits, lt.timeouts }
+
+// HeldLocks returns the number of keys with at least one holder (for tests
+// asserting clean release).
+func (lt *LockTable) HeldLocks() int { return len(lt.locks) }

@@ -1,0 +1,327 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"cloudybench/internal/storage"
+)
+
+// Column is one schema column.
+type Column struct {
+	Name string
+	Kind Kind
+}
+
+// Schema describes a table: columns, primary-key columns, and the average
+// physical row size used for page math.
+type Schema struct {
+	Name        string
+	Cols        []Column
+	KeyCols     []int // indexes into Cols forming the primary key
+	AvgRowBytes int
+}
+
+// ColIndex returns the index of the named column, or -1.
+func (s *Schema) ColIndex(name string) int {
+	for i, c := range s.Cols {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// KeyOf builds the primary key of a row under this schema.
+func (s *Schema) KeyOf(r Row) Key {
+	vals := make([]Value, len(s.KeyCols))
+	for i, ci := range s.KeyCols {
+		vals[i] = r[ci]
+	}
+	return EncodeKey(vals...)
+}
+
+// Validate checks structural sanity of the schema.
+func (s *Schema) Validate() error {
+	if s.Name == "" {
+		return errors.New("engine: schema without name")
+	}
+	if len(s.Cols) == 0 {
+		return fmt.Errorf("engine: table %s has no columns", s.Name)
+	}
+	if len(s.KeyCols) == 0 {
+		return fmt.Errorf("engine: table %s has no primary key", s.Name)
+	}
+	for _, ci := range s.KeyCols {
+		if ci < 0 || ci >= len(s.Cols) {
+			return fmt.Errorf("engine: table %s key column %d out of range", s.Name, ci)
+		}
+	}
+	if s.AvgRowBytes <= 0 {
+		return fmt.Errorf("engine: table %s has no row size estimate", s.Name)
+	}
+	return nil
+}
+
+// RowGen deterministically materializes the base row with the given dense
+// primary key id in [1, baseRows]. The returned row must have that id as
+// its primary key.
+type RowGen func(id int64) Row
+
+type deltaVal struct {
+	row  Row // nil marks a tombstone
+	page storage.PageID
+}
+
+// Table is a primary-key table: a deterministic generator provides the
+// initial load (ids 1..baseRows, laid out densely on pages) and a B-tree
+// delta overlay holds every written row. All reads check the delta first.
+// The table also answers "which page does this row live on?", which the
+// node layer uses to charge buffer and I/O costs.
+type Table struct {
+	ID     storage.TableID
+	Schema *Schema
+
+	baseRows    int64
+	gen         RowGen
+	rowsPerPage int64
+	basePages   uint64
+
+	delta     *BTree[deltaVal]
+	nextAuto  int64 // next auto-increment id to hand out
+	appendSeq int64 // physical slots assigned to post-load inserts
+	liveRows  int64
+}
+
+// NewTable creates a table. baseRows may be zero (fully delta-backed, as in
+// TPC-C); if positive, gen must be non-nil and rows 1..baseRows exist
+// virtually with PK = Int(id).
+func NewTable(id storage.TableID, schema *Schema, baseRows int64, gen RowGen) (*Table, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	if baseRows > 0 && gen == nil {
+		return nil, fmt.Errorf("engine: table %s has base rows but no generator", schema.Name)
+	}
+	t := &Table{
+		ID:          id,
+		Schema:      schema,
+		baseRows:    baseRows,
+		gen:         gen,
+		rowsPerPage: storage.RowsPerPage(schema.AvgRowBytes),
+		basePages:   storage.PagesFor(baseRows, schema.AvgRowBytes),
+		delta:       NewBTree[deltaVal](),
+		nextAuto:    baseRows + 1,
+		liveRows:    baseRows,
+	}
+	return t, nil
+}
+
+// BaseRows returns the generator-backed row count.
+func (t *Table) BaseRows() int64 { return t.baseRows }
+
+// LiveRows returns the current number of visible rows.
+func (t *Table) LiveRows() int64 { return t.liveRows }
+
+// MaxID returns the largest primary-key id ever assigned (base or auto),
+// which access distributions use as the key-space bound.
+func (t *Table) MaxID() int64 { return t.nextAuto - 1 }
+
+// NextAutoID hands out the next dense auto-increment id (INSERT ... DEFAULT).
+func (t *Table) NextAutoID() int64 {
+	id := t.nextAuto
+	t.nextAuto++
+	return id
+}
+
+// BumpAutoID raises the auto-increment floor to at least id+1 (used by
+// replicas applying shipped inserts and by explicit-key inserts).
+func (t *Table) BumpAutoID(id int64) {
+	if id >= t.nextAuto {
+		t.nextAuto = id + 1
+	}
+}
+
+// Pages returns the current physical page count (base + appended).
+func (t *Table) Pages() uint64 {
+	appended := storage.PagesFor(t.appendSeq, t.Schema.AvgRowBytes)
+	return t.basePages + appended
+}
+
+// PageOfBase returns the page holding generator row id.
+func (t *Table) PageOfBase(id int64) storage.PageID {
+	return storage.PageID{Table: t.ID, Num: uint64((id - 1) / t.rowsPerPage)}
+}
+
+func (t *Table) nextAppendPage() storage.PageID {
+	page := storage.PageID{Table: t.ID, Num: t.basePages + uint64(t.appendSeq/t.rowsPerPage)}
+	t.appendSeq++
+	return page
+}
+
+func (t *Table) isBaseKey(k Key) (int64, bool) {
+	id, ok := DecodeIntKey(k)
+	if !ok || id < 1 || id > t.baseRows {
+		return 0, false
+	}
+	return id, true
+}
+
+// Get returns the visible row under k and the page it resides on.
+func (t *Table) Get(k Key) (Row, storage.PageID, bool) {
+	if dv, ok := t.delta.Get(k); ok {
+		if dv.row == nil {
+			return nil, dv.page, false // tombstone
+		}
+		return dv.row, dv.page, true
+	}
+	if id, ok := t.isBaseKey(k); ok {
+		return t.gen(id), t.PageOfBase(id), true
+	}
+	return nil, storage.PageID{}, false
+}
+
+// ErrDuplicateKey is returned when inserting an existing primary key.
+var ErrDuplicateKey = errors.New("engine: duplicate primary key")
+
+// Insert adds a new row, assigning it a physical page. The caller must hold
+// the X lock. It fails on duplicate keys.
+func (t *Table) Insert(k Key, r Row) (storage.PageID, error) {
+	if dv, ok := t.delta.Get(k); ok {
+		if dv.row != nil {
+			return storage.PageID{}, ErrDuplicateKey
+		}
+		// Re-insert over tombstone reuses the row's original page.
+		t.delta.Set(k, deltaVal{row: r.Clone(), page: dv.page})
+		t.liveRows++
+		return dv.page, nil
+	}
+	if _, ok := t.isBaseKey(k); ok {
+		return storage.PageID{}, ErrDuplicateKey
+	}
+	page := t.nextAppendPage()
+	t.delta.Set(k, deltaVal{row: r.Clone(), page: page})
+	t.liveRows++
+	if id, ok := DecodeIntKey(k); ok {
+		t.BumpAutoID(id)
+	}
+	return page, nil
+}
+
+// InsertAt adds a row at a specific page (replica replay of a shipped
+// insert, keeping page identity consistent with the primary).
+func (t *Table) InsertAt(k Key, r Row, page storage.PageID) {
+	if dv, ok := t.delta.Get(k); ok && dv.row != nil {
+		// Idempotent replay: overwrite in place.
+		t.delta.Set(k, deltaVal{row: r.Clone(), page: page})
+		return
+	}
+	// Fresh insert or re-insert over a tombstone: row becomes visible.
+	t.delta.Set(k, deltaVal{row: r.Clone(), page: page})
+	t.liveRows++
+	if id, ok := DecodeIntKey(k); ok {
+		t.BumpAutoID(id)
+	}
+}
+
+// ErrRowNotFound is returned for updates/deletes of missing rows.
+var ErrRowNotFound = errors.New("engine: row not found")
+
+// Update replaces the row under k, returning the page and the old row (for
+// undo). The caller must hold the X lock.
+func (t *Table) Update(k Key, r Row) (storage.PageID, Row, error) {
+	old, page, ok := t.Get(k)
+	if !ok {
+		return storage.PageID{}, nil, ErrRowNotFound
+	}
+	t.delta.Set(k, deltaVal{row: r.Clone(), page: page})
+	return page, old, nil
+}
+
+// UpdateAt applies a replicated update image at the given page.
+func (t *Table) UpdateAt(k Key, r Row, page storage.PageID) {
+	t.delta.Set(k, deltaVal{row: r.Clone(), page: page})
+}
+
+// Delete tombstones the row under k, returning the page and old row. The
+// caller must hold the X lock.
+func (t *Table) Delete(k Key) (storage.PageID, Row, error) {
+	old, page, ok := t.Get(k)
+	if !ok {
+		return storage.PageID{}, nil, ErrRowNotFound
+	}
+	t.delta.Set(k, deltaVal{row: nil, page: page})
+	t.liveRows--
+	return page, old, nil
+}
+
+// DeleteAt applies a replicated delete at the given page.
+func (t *Table) DeleteAt(k Key, page storage.PageID) {
+	if _, _, visible := t.Get(k); visible {
+		t.liveRows--
+	}
+	t.delta.Set(k, deltaVal{row: nil, page: page})
+}
+
+// undoSet restores a prior delta state: row==nil removes/tombstones
+// according to prior existence. Used by transaction rollback.
+func (t *Table) undoSet(k Key, prior Row, page storage.PageID, existedBefore bool) {
+	_, _, visible := t.Get(k)
+	switch {
+	case existedBefore:
+		t.delta.Set(k, deltaVal{row: prior.Clone(), page: page})
+		if !visible {
+			t.liveRows++
+		}
+	default:
+		// Row did not exist before: tombstone (or physically drop fresh
+		// delta-only inserts).
+		if visible {
+			t.liveRows--
+		}
+		if _, isBase := t.isBaseKey(k); isBase {
+			t.delta.Set(k, deltaVal{row: nil, page: page})
+		} else {
+			t.delta.Delete(k)
+		}
+	}
+}
+
+// Scan visits visible rows with primary-key ids in [loID, hiID] in key
+// order, merging generator-backed rows with the delta overlay. It supports
+// only integer single-column keys for the base portion; delta-only tables
+// (baseRows == 0) may use Range instead for arbitrary keys.
+func (t *Table) Scan(loID, hiID int64, fn func(id int64, r Row) bool) {
+	for id := loID; id <= hiID; id++ {
+		k := IntKey(id)
+		if dv, ok := t.delta.Get(k); ok {
+			if dv.row == nil {
+				continue
+			}
+			if !fn(id, dv.row) {
+				return
+			}
+			continue
+		}
+		if id >= 1 && id <= t.baseRows {
+			if !fn(id, t.gen(id)) {
+				return
+			}
+		}
+	}
+}
+
+// Range visits delta-held visible rows with keys in [lo, hi) in order.
+// For fully delta-backed tables this is a complete index range scan.
+func (t *Table) Range(lo, hi Key, fn func(k Key, r Row) bool) {
+	t.delta.AscendRange(lo, hi, func(k Key, dv deltaVal) bool {
+		if dv.row == nil {
+			return true
+		}
+		return fn(k, dv.row)
+	})
+}
+
+// DeltaLen returns the number of delta entries (rows + tombstones), a
+// memory-pressure signal for tests.
+func (t *Table) DeltaLen() int { return t.delta.Len() }

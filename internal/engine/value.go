@@ -1,0 +1,205 @@
+// Package engine implements the shared transactional core of every
+// simulated cloud database: typed rows, memcomparable key encoding, an
+// in-memory B-tree, a simulation-aware two-phase-locking lock manager, and
+// write transactions with undo and WAL emission.
+//
+// One engine instance backs the read-write node; each read-only replica
+// holds its own instance that applies shipped WAL records. Base table data
+// is materialized deterministically from a generator function (see Table),
+// so multi-gigabyte scale factors need memory only for written rows.
+package engine
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"time"
+)
+
+// Kind enumerates value types. The set covers what the CloudyBench and
+// TPC-C schemas need: integers (ids, counts, timestamps as unix micros),
+// floats (amounts, credits), and strings (names, statuses).
+type Kind uint8
+
+// Value kinds.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "INT"
+	case KindFloat:
+		return "FLOAT"
+	case KindString:
+		return "STRING"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is one typed column value.
+type Value struct {
+	Kind Kind
+	I    int64
+	F    float64
+	S    string
+}
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{Kind: KindInt, I: v} }
+
+// Float returns a float value.
+func Float(v float64) Value { return Value{Kind: KindFloat, F: v} }
+
+// Str returns a string value.
+func Str(s string) Value { return Value{Kind: KindString, S: s} }
+
+// Null returns the null value.
+func Null() Value { return Value{Kind: KindNull} }
+
+// Time returns an integer value holding the unix-microsecond timestamp.
+func Time(t time.Time) Value { return Int(t.UnixMicro()) }
+
+// IsNull reports whether the value is null.
+func (v Value) IsNull() bool { return v.Kind == KindNull }
+
+// String renders the value for reports and debugging.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KindString:
+		return v.S
+	default:
+		return "?"
+	}
+}
+
+// Equal reports deep equality of two values.
+func (v Value) Equal(o Value) bool {
+	if v.Kind != o.Kind {
+		return false
+	}
+	switch v.Kind {
+	case KindNull:
+		return true
+	case KindInt:
+		return v.I == o.I
+	case KindFloat:
+		return v.F == o.F
+	case KindString:
+		return v.S == o.S
+	}
+	return false
+}
+
+// Row is one table row: a value per schema column.
+type Row []Value
+
+// Clone returns a copy that shares no mutable state.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Equal reports column-wise equality.
+func (r Row) Equal(o Row) bool {
+	if len(r) != len(o) {
+		return false
+	}
+	for i := range r {
+		if !r[i].Equal(o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// EncodeRow appends a compact binary encoding of the row to dst. The format
+// is a uvarint column count followed by tagged values.
+func EncodeRow(dst []byte, r Row) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(r)))
+	for _, v := range r {
+		dst = append(dst, byte(v.Kind))
+		switch v.Kind {
+		case KindNull:
+		case KindInt:
+			dst = binary.AppendVarint(dst, v.I)
+		case KindFloat:
+			dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(v.F))
+		case KindString:
+			dst = binary.AppendUvarint(dst, uint64(len(v.S)))
+			dst = append(dst, v.S...)
+		default:
+			panic(fmt.Sprintf("engine: encode of unknown kind %d", v.Kind))
+		}
+	}
+	return dst
+}
+
+// ErrBadRow reports a malformed row encoding.
+var ErrBadRow = errors.New("engine: malformed row encoding")
+
+// DecodeRow decodes a row produced by EncodeRow.
+func DecodeRow(buf []byte) (Row, error) {
+	n, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return nil, ErrBadRow
+	}
+	buf = buf[sz:]
+	row := make(Row, 0, n)
+	for i := uint64(0); i < n; i++ {
+		if len(buf) < 1 {
+			return nil, ErrBadRow
+		}
+		kind := Kind(buf[0])
+		buf = buf[1:]
+		switch kind {
+		case KindNull:
+			row = append(row, Null())
+		case KindInt:
+			v, sz := binary.Varint(buf)
+			if sz <= 0 {
+				return nil, ErrBadRow
+			}
+			buf = buf[sz:]
+			row = append(row, Int(v))
+		case KindFloat:
+			if len(buf) < 8 {
+				return nil, ErrBadRow
+			}
+			row = append(row, Float(math.Float64frombits(binary.BigEndian.Uint64(buf))))
+			buf = buf[8:]
+		case KindString:
+			l, sz := binary.Uvarint(buf)
+			if sz <= 0 || uint64(len(buf)-sz) < l {
+				return nil, ErrBadRow
+			}
+			buf = buf[sz:]
+			row = append(row, Str(string(buf[:l])))
+			buf = buf[l:]
+		default:
+			return nil, ErrBadRow
+		}
+	}
+	return row, nil
+}
+
+// EncodedRowSize returns the encoded byte size of the row without encoding.
+func EncodedRowSize(r Row) int {
+	return len(EncodeRow(nil, r))
+}

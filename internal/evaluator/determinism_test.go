@@ -1,0 +1,39 @@
+package evaluator
+
+import (
+	"testing"
+	"time"
+
+	"cloudybench/internal/cdb"
+	"cloudybench/internal/core"
+)
+
+// TestEvaluatorRunsAreDeterministic re-runs the same configuration twice
+// and demands bit-identical results — the simulator's core promise, and
+// what makes every number in EXPERIMENTS.md reproducible.
+func TestEvaluatorRunsAreDeterministic(t *testing.T) {
+	run := func() OLTPResult {
+		return RunOLTP(OLTPConfig{
+			Kind: cdb.CDB3, Mix: core.MixReadWrite, Concurrency: 24,
+			Warmup: 500 * time.Millisecond, Measure: time.Second, Seed: 7,
+		})
+	}
+	a, b := run(), run()
+	if a.TPS != b.TPS {
+		t.Fatalf("TPS diverged: %v vs %v", a.TPS, b.TPS)
+	}
+	if a.P50 != b.P50 || a.P99 != b.P99 {
+		t.Fatalf("latency diverged: %v/%v vs %v/%v", a.P50, a.P99, b.P50, b.P99)
+	}
+	if a.HitRatio != b.HitRatio {
+		t.Fatalf("hit ratio diverged: %v vs %v", a.HitRatio, b.HitRatio)
+	}
+	// A different seed must actually change the run.
+	c := RunOLTP(OLTPConfig{
+		Kind: cdb.CDB3, Mix: core.MixReadWrite, Concurrency: 24,
+		Warmup: 500 * time.Millisecond, Measure: time.Second, Seed: 8,
+	})
+	if c.TPS == a.TPS && c.P99 == a.P99 {
+		t.Fatal("different seeds produced identical results (suspicious)")
+	}
+}

@@ -1,0 +1,168 @@
+// Package evaluator contains CloudyBench's experiment drivers: the OLTP,
+// elasticity, multi-tenancy, fail-over, and lag-time evaluators of paper
+// Figure 1, plus the overall PERFECT aggregation. Each Run function builds
+// a self-contained simulation, executes the experiment, and returns a
+// result struct that the report layer renders into the paper's tables and
+// figures.
+package evaluator
+
+import (
+	"time"
+
+	"cloudybench/internal/cdb"
+	"cloudybench/internal/core"
+	"cloudybench/internal/metrics"
+	"cloudybench/internal/pricing"
+	"cloudybench/internal/sim"
+)
+
+// simEpoch anchors every evaluator simulation at a fixed virtual date so
+// runs are reproducible.
+var simEpoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// OLTPConfig parameterizes one throughput cell of Figure 5 / Table V.
+type OLTPConfig struct {
+	Kind        cdb.Kind
+	SF          int
+	Mix         core.Mix
+	Concurrency int
+	// Distribution is "uniform" (default) or "latest".
+	Distribution string
+	// Replicas defaults to 1 (the paper deploys 1 RW + 1 RO); pass
+	// NoReplicas for a single-node deployment.
+	Replicas int
+	// Warmup runs before measurement begins; Measure is the measured
+	// window. Defaults: 2s / 8s.
+	Warmup  time.Duration
+	Measure time.Duration
+	// BufferBytes overrides the profile buffer (Figure 8).
+	BufferBytes int64
+	Seed        int64
+}
+
+// NoReplicas requests a deployment without read-only nodes.
+const NoReplicas = -1
+
+func (c OLTPConfig) withDefaults() OLTPConfig {
+	if c.SF < 1 {
+		c.SF = 1
+	}
+	if c.Replicas == 0 {
+		c.Replicas = 1
+	} else if c.Replicas < 0 {
+		c.Replicas = 0
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = 2 * time.Second
+	}
+	if c.Measure <= 0 {
+		c.Measure = 8 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return c
+}
+
+// OLTPResult is one measured cell.
+type OLTPResult struct {
+	Kind        cdb.Kind
+	SF          int
+	Mix         core.Mix
+	Concurrency int
+
+	TPS        float64
+	P50        time.Duration
+	P99        time.Duration
+	HitRatio   float64 // RW-node buffer hit ratio over the whole run
+	CostPerMin pricing.Breakdown
+	PScore     float64
+}
+
+// RunOLTP measures steady-state throughput for one configuration.
+func RunOLTP(cfg OLTPConfig) OLTPResult {
+	cfg = cfg.withDefaults()
+	s := sim.New(simEpoch)
+	d := cdb.MustDeploy(s, cdb.ProfileFor(cfg.Kind), cdb.Options{
+		SF: cfg.SF, Seed: cfg.Seed, Replicas: cfg.Replicas,
+		BufferBytes: cfg.BufferBytes, PreWarm: true,
+		// Throughput evaluation uses the provisioned (fixed) size.
+		Serverless: cdb.Bool(false),
+	})
+	col := core.NewCollector()
+	r := core.NewRunner(s, core.Config{
+		Name: "oltp", Seed: cfg.Seed, Mix: cfg.Mix,
+		Distribution: cfg.Distribution,
+		Write:        d.RW, Read: d.ReadNode,
+		Collector: col,
+	})
+	s.Go("ctl", func(p *sim.Proc) {
+		r.SetConcurrency(cfg.Concurrency)
+		p.Sleep(cfg.Warmup + cfg.Measure)
+		r.Stop()
+		r.Wait(p)
+		d.Shutdown()
+	})
+	if err := s.Run(); err != nil {
+		panic("evaluator: oltp run: " + err.Error())
+	}
+
+	from, to := cfg.Warmup, cfg.Warmup+cfg.Measure
+	perMin := pricing.PerMinuteBreakdown(d.ClusterPackage())
+	res := OLTPResult{
+		Kind: cfg.Kind, SF: cfg.SF, Mix: cfg.Mix, Concurrency: cfg.Concurrency,
+		TPS:        col.TPS(from, to),
+		P50:        col.Latency().Quantile(0.50),
+		P99:        col.Latency().Quantile(0.99),
+		HitRatio:   d.RW().Buf.HitRatio(),
+		CostPerMin: perMin,
+	}
+	res.PScore = metrics.PScore(res.TPS, perMin.Total())
+	return res
+}
+
+// E2Config parameterizes the scale-out elasticity measurement: throughput
+// as RO nodes are added (equation 5, Table IX's E2-Score).
+type E2Config struct {
+	Kind        cdb.Kind
+	SF          int
+	Mix         core.Mix
+	Concurrency int
+	MaxReplicas int // λ; default 1
+	Delta       float64
+	Warmup      time.Duration
+	Measure     time.Duration
+	Seed        int64
+}
+
+// E2Result holds TPS per replica count and the resulting score.
+type E2Result struct {
+	Kind    cdb.Kind
+	TPS     []float64 // TPS[i] with i RO nodes
+	E2Score float64
+}
+
+// RunE2 measures the scale-out elasticity score.
+func RunE2(cfg E2Config) E2Result {
+	if cfg.MaxReplicas < 1 {
+		cfg.MaxReplicas = 1
+	}
+	if cfg.Delta <= 0 {
+		cfg.Delta = 1000 // δ calibrated so RDS's 17k->36k jump scores ~20
+	}
+	res := E2Result{Kind: cfg.Kind}
+	for replicas := 0; replicas <= cfg.MaxReplicas; replicas++ {
+		n := replicas
+		if n == 0 {
+			n = NoReplicas
+		}
+		r := RunOLTP(OLTPConfig{
+			Kind: cfg.Kind, SF: cfg.SF, Mix: cfg.Mix,
+			Concurrency: cfg.Concurrency, Replicas: n,
+			Warmup: cfg.Warmup, Measure: cfg.Measure, Seed: cfg.Seed,
+		})
+		res.TPS = append(res.TPS, r.TPS)
+	}
+	res.E2Score = metrics.E2Score(res.TPS, cfg.Delta)
+	return res
+}

@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"cloudybench/internal/cdb"
+	"cloudybench/internal/core"
+	"cloudybench/internal/node"
+	"cloudybench/internal/report"
+	"cloudybench/internal/sim"
+)
+
+// Ablations isolate the architectural mechanisms the paper credits for
+// each SUT's behaviour, by re-deploying a profile with exactly one
+// mechanism changed:
+//
+//   - ab-replay: CDB3 with parallel replay lanes vs forced-sequential —
+//     the paper attributes CDB3's low lag to parallel log replay (§III-F).
+//   - ab-rembuf: CDB4 with vs without its remote buffer pool — the paper
+//     credits the remote pool for CDB4's throughput and recovery.
+//   - ab-redo: CDB1 with redo pushdown vs classic dirty-page writeback —
+//     the log-is-the-database design the paper contrasts with RDS.
+
+// AblationReplay compares CDB3's replication lag with 1 vs N replay lanes.
+func AblationReplay(sc Scale) string {
+	measure := func(lanes int) time.Duration {
+		prof := cdb.ProfileFor(cdb.CDB3)
+		prof.Replication.Lanes = lanes
+		return runLagWithProfile(sc, prof)
+	}
+	seq := measure(1)
+	par := measure(cdb.ProfileFor(cdb.CDB3).Replication.Lanes)
+	tbl := report.NewTable("Ablation — parallel log replay (CDB3, write-heavy)",
+		"Replay", "Mean update lag")
+	tbl.AddRow("sequential (1 lane)", report.Dur(seq))
+	tbl.AddRow("parallel (profile lanes)", report.Dur(par))
+	return tbl.String() + fmt.Sprintf("\nParallel replay cuts lag %.1fx.\n",
+		float64(seq)/float64(par))
+}
+
+// runLagWithProfile measures update lag under a write-heavy load for an
+// arbitrary profile variant.
+func runLagWithProfile(sc Scale, prof cdb.Profile) time.Duration {
+	s := sim.New(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	d := cdb.MustDeploy(s, prof, cdb.Options{
+		Replicas: 1, Seed: sc.Seed, PreWarm: true, Serverless: cdb.Bool(false),
+	})
+	col := core.NewCollector()
+	r := core.NewRunner(s, core.Config{
+		Name: "ab", Seed: sc.Seed, Mix: core.IUDMix(40, 50, 10),
+		Write: d.RW, Read: d.ReadNode, Collector: col,
+	})
+	s.Go("ctl", func(p *sim.Proc) {
+		r.SetConcurrency(sc.LagConc)
+		p.Sleep(sc.LagDuration)
+		r.Stop()
+		r.Wait(p)
+		p.Sleep(3 * time.Second)
+		d.Shutdown()
+	})
+	if err := s.Run(); err != nil {
+		panic("experiments: ablation lag: " + err.Error())
+	}
+	_, upd, _ := d.Streams()[0].LagReservoirs()
+	return upd.Mean()
+}
+
+// AblationRemoteBuffer compares CDB4's transaction latency with and
+// without the shared remote buffer pool. Throughput stays CPU-bound either
+// way at this scale; what the remote pool buys is the *miss path*: an RDMA
+// round trip (~tens of µs) instead of a storage-service fetch (~600 µs),
+// which shows up directly in p50 latency when the local buffer is small.
+func AblationRemoteBuffer(sc Scale) string {
+	run := func(remote bool) ablationOLTP {
+		prof := cdb.ProfileFor(cdb.CDB4)
+		// Shrink the local buffer so the second tier actually matters
+		// (at SF1 the stock 10 GB local buffer absorbs everything).
+		if !remote {
+			prof.RemoteBufBytes = 0
+		}
+		return runOLTPWithProfile(sc, prof, 16<<20, true)
+	}
+	with := run(true)
+	without := run(false)
+	tbl := report.NewTable("Ablation — remote buffer pool (CDB4, 16MB local buffer, RW)",
+		"Configuration", "TPS", "p50 latency", "p99 latency")
+	tbl.AddRow("local + remote pool (RDMA)", report.F(with.tps),
+		report.Dur(with.p50), report.Dur(with.p99))
+	tbl.AddRow("local only (misses go to storage)", report.F(without.tps),
+		report.Dur(without.p50), report.Dur(without.p99))
+	ratio := float64(without.p50) / float64(with.p50)
+	return tbl.String() + fmt.Sprintf("\nServing misses from the remote pool cuts p50 latency %.1fx.\n", ratio)
+}
+
+// AblationRedoPushdown compares CDB1 with redo pushdown against a variant
+// that writes dirty pages back to storage like a classic engine. The
+// delete-heavy mix dirties pages across the whole table, so writeback and
+// checkpoints fight foreground traffic for the storage channel.
+func AblationRedoPushdown(sc Scale) string {
+	run := func(pushdown bool) ablationOLTP {
+		prof := cdb.ProfileFor(cdb.CDB1)
+		prof.RedoPushdown = pushdown
+		if !pushdown {
+			// Classic engines must also checkpoint frequently.
+			prof.CheckpointEvery = 2 * time.Second
+		}
+		// Start cold so the buffer fills with freshly dirtied pages and
+		// eviction writeback engages within the measurement window.
+		return runOLTPWithProfile(sc, prof, 0, false)
+	}
+	with := run(true)
+	without := run(false)
+	tbl := report.NewTable("Ablation — redo pushdown (CDB1, insert+delete mix)",
+		"Configuration", "TPS", "p50 latency", "p99 latency")
+	tbl.AddRow("redo pushed to storage (no writeback)", report.F(with.tps),
+		report.Dur(with.p50), report.Dur(with.p99))
+	tbl.AddRow("dirty-page writeback + checkpoints", report.F(without.tps),
+		report.Dur(without.p50), report.Dur(without.p99))
+	note := "\nAt this scale CDB1 stays compute-bound either way: the shared storage\n" +
+		"service absorbs writeback and checkpoint traffic without throttling\n" +
+		"foreground work — redo pushdown's advantage appears once the storage\n" +
+		"channel, not the CPU, is the binding constraint (see Figure 8's SF10\n" +
+		"sweep, where the miss path dominates).\n"
+	return tbl.String() + note
+}
+
+type ablationOLTP struct {
+	tps      float64
+	hitRatio float64
+	p50, p99 time.Duration
+}
+
+func runOLTPWithProfile(sc Scale, prof cdb.Profile, buffer int64, preWarm bool) ablationOLTP {
+	s := sim.New(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	d := cdb.MustDeploy(s, prof, cdb.Options{
+		Replicas: -1, Seed: sc.Seed, PreWarm: preWarm, Serverless: cdb.Bool(false),
+		BufferBytes: buffer,
+	})
+	col := core.NewCollector()
+	mix := core.MixReadWrite
+	if prof.Kind == cdb.CDB1 {
+		// Insert+delete dirties pages across the whole key space.
+		mix = core.Mix{T1: 50, T4: 50}
+	}
+	r := core.NewRunner(s, core.Config{
+		Name: "ab", Seed: sc.Seed, Mix: mix,
+		Write: d.RW, Read: func() *node.Node { return d.RW() }, Collector: col,
+	})
+	s.Go("ctl", func(p *sim.Proc) {
+		r.SetConcurrency(64)
+		p.Sleep(sc.Warmup + sc.Measure)
+		r.Stop()
+		r.Wait(p)
+		d.Shutdown()
+	})
+	if err := s.Run(); err != nil {
+		panic("experiments: ablation oltp: " + err.Error())
+	}
+	return ablationOLTP{
+		tps:      col.TPS(sc.Warmup, sc.Warmup+sc.Measure),
+		hitRatio: d.RW().Buf.HitRatio(),
+		p50:      col.Latency().Quantile(0.5),
+		p99:      col.Latency().Quantile(0.99),
+	}
+}
+
+// Ablations runs all three and concatenates their reports.
+func Ablations(sc Scale) string {
+	var b strings.Builder
+	b.WriteString(AblationReplay(sc))
+	b.WriteString("\n")
+	b.WriteString(AblationRemoteBuffer(sc))
+	b.WriteString("\n")
+	b.WriteString(AblationRedoPushdown(sc))
+	return b.String()
+}

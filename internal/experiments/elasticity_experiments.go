@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"cloudybench/internal/cdb"
+	"cloudybench/internal/core"
+	"cloudybench/internal/evaluator"
+	"cloudybench/internal/patterns"
+	"cloudybench/internal/report"
+)
+
+// Figure6 regenerates the elasticity evaluation: average TPS, total cost
+// (execution plus scaling over the 10-slot costing window), and E1-Score
+// per SUT across the four elastic patterns.
+func Figure6(sc Scale) (string, []evaluator.ElasticityResult) {
+	var results []evaluator.ElasticityResult
+	var b strings.Builder
+	b.WriteString("Figure 6 — Elasticity Evaluation (RW mix)\n\n")
+	for _, pat := range patterns.ElasticPatterns() {
+		tbl := report.NewTable(
+			fmt.Sprintf("Pattern %s, concurrency %v", pat.Name, pat.Concurrency(sc.Tau)),
+			"System", "AvgTPS", "TotalCost", "ActualCost", "E1-Score")
+		for _, kind := range SUTs {
+			r := evaluator.RunElasticity(evaluator.ElasticityConfig{
+				Kind: kind, Pattern: pat, Mix: core.MixReadWrite,
+				Tau: sc.Tau, SlotLength: sc.SlotLength, CostSlots: sc.CostSlots,
+				Seed: sc.Seed,
+			})
+			results = append(results, r)
+			tbl.AddRow(string(kind), report.F(r.AvgTPS),
+				report.Money(r.TotalCost), report.Money(r.ActualCost), report.F(r.E1Score))
+		}
+		b.WriteString(tbl.String())
+		b.WriteString("\n")
+	}
+	return b.String(), results
+}
+
+// TableVI regenerates the autoscaling detail: per-transition scaling time
+// and scaling cost for the three serverless SUTs.
+func TableVI(sc Scale) (string, []evaluator.ElasticityResult) {
+	var results []evaluator.ElasticityResult
+	var b strings.Builder
+	b.WriteString("Table VI — Scaling time and cost during autoscaling (serverless SUTs)\n\n")
+	for _, pat := range patterns.ElasticPatterns() {
+		tbl := report.NewTable(
+			fmt.Sprintf("Pattern %s", pat.Name),
+			"System", "Transition", "ScalingTime", "ScalingCost")
+		for _, kind := range SUTs {
+			if cdb.ProfileFor(kind).Autoscale == nil {
+				continue // Table VI covers only the autoscaling SUTs
+			}
+			r := evaluator.RunElasticity(evaluator.ElasticityConfig{
+				Kind: kind, Pattern: pat, Mix: core.MixReadWrite,
+				Tau: sc.Tau, SlotLength: sc.SlotLength, CostSlots: sc.CostSlots,
+				Seed: sc.Seed,
+			})
+			results = append(results, r)
+			for _, tr := range r.Transitions {
+				tbl.AddRow(string(kind),
+					fmt.Sprintf("%d->%d", tr.FromCon, tr.ToCon),
+					report.Dur(tr.ScalingTime), report.Money(tr.ScalingCost))
+			}
+		}
+		b.WriteString(tbl.String())
+		b.WriteString("\n")
+	}
+	return b.String(), results
+}

@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"cloudybench/internal/cdb"
+)
+
+// tiny is an ultra-small scale for unit tests.
+var tiny = Scale{
+	Name:         "tiny",
+	Warmup:       500 * time.Millisecond,
+	Measure:      time.Second,
+	Concurrency:  []int{16},
+	SFs:          []int{1},
+	SlotLength:   2 * time.Second,
+	CostSlots:    4,
+	Tau:          24,
+	FailBaseline: 6 * time.Second,
+	FailTimeout:  60 * time.Second,
+	FailConc:     24,
+	LagDuration:  2 * time.Second,
+	LagConc:      4,
+	Seed:         42,
+}
+
+func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
+	want := []string{"ablations", "f5", "f6", "f7", "f8", "f9", "lag", "t5", "t6", "t7", "t8", "t9"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("ids = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ids = %v, want %v", got, want)
+		}
+	}
+	for _, id := range want {
+		if desc, ok := Describe(id); !ok || desc == "" {
+			t.Fatalf("no description for %s", id)
+		}
+	}
+	if _, err := Run("nope", tiny); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestScaleByName(t *testing.T) {
+	if sc, ok := ScaleByName(""); !ok || sc.Name != "quick" {
+		t.Fatal("default scale")
+	}
+	if sc, ok := ScaleByName("paper"); !ok || sc.SlotLength != time.Minute {
+		t.Fatal("paper scale")
+	}
+	if _, ok := ScaleByName("nope"); ok {
+		t.Fatal("bad scale accepted")
+	}
+}
+
+func TestTableVRendersAllSystems(t *testing.T) {
+	out, results := TableV(tiny)
+	for _, kind := range SUTs {
+		if !strings.Contains(out, string(kind)) {
+			t.Fatalf("missing %s in:\n%s", kind, out)
+		}
+	}
+	if len(results) != 15 { // 5 SUTs x 3 mixes
+		t.Fatalf("results = %d", len(results))
+	}
+	for _, r := range results {
+		if r.TPS <= 0 || r.PScore <= 0 {
+			t.Fatalf("bad result: %+v", r)
+		}
+	}
+}
+
+func TestFigure5ProducesCells(t *testing.T) {
+	out, results := Figure5(tiny)
+	if len(results) != 1*3*1*5 { // SFs x mixes x cons x SUTs
+		t.Fatalf("cells = %d", len(results))
+	}
+	if !strings.Contains(out, "SF1") || !strings.Contains(out, "con=16") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestFigure8BufferSweepShape(t *testing.T) {
+	out, results := Figure8(tiny)
+	if len(results) != 12 { // 3 SUTs x 4 buffers
+		t.Fatalf("cells = %d", len(results))
+	}
+	// Within each SUT, bigger buffers must not reduce hit ratio.
+	byKind := map[cdb.Kind][]float64{}
+	for _, r := range results {
+		byKind[r.Kind] = append(byKind[r.Kind], r.HitRatio)
+	}
+	for kind, hits := range byKind {
+		for i := 1; i < len(hits); i++ {
+			if hits[i]+0.02 < hits[i-1] {
+				t.Fatalf("%s: hit ratio fell with bigger buffer: %v", kind, hits)
+			}
+		}
+	}
+	_ = out
+}
+
+func TestAblationsShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run experiment")
+	}
+	out := Ablations(tiny)
+	for _, want := range []string{"parallel log replay", "remote buffer pool", "redo pushdown"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ablation output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure9ScalingRangeShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run experiment")
+	}
+	out, results := Figure9(tiny)
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	cb, sys, tpcc := results[0], results[1], results[2]
+	// The paper's headline: CloudyBench exercises a wider scaling range
+	// than either constant-load baseline.
+	if cb.Max-cb.Min <= sys.Max-sys.Min {
+		t.Fatalf("cloudybench range %.2f <= sysbench %.2f\n%s",
+			cb.Max-cb.Min, sys.Max-sys.Min, out)
+	}
+	if cb.Max-cb.Min <= tpcc.Max-tpcc.Min {
+		t.Fatalf("cloudybench range %.2f <= tpcc %.2f\n%s",
+			cb.Max-cb.Min, tpcc.Max-tpcc.Min, out)
+	}
+	for _, r := range results {
+		if r.Commits == 0 {
+			t.Fatalf("%s: no commits", r.Workload)
+		}
+	}
+}
+
+func TestRunCustomElasticityFromProps(t *testing.T) {
+	props := `
+elastic_testTime = 3
+first_con  = 4
+second_con = 16
+third_con  = 4
+system = cdb2
+mix = 0:0:100
+slot = 2s
+cost_slots = 4
+`
+	out, err := RunCustomElasticity(props)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"cdb2", "avg TPS", "E1-Score", "Transitions"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Error paths: bad props, unknown system, all-zero pattern, bad mix.
+	for _, bad := range []string{
+		"nonsense",
+		"elastic_testTime = 1\nfirst_con = 5\nsystem = nope",
+		"elastic_testTime = 1\nfirst_con = 0",
+		"elastic_testTime = 1\nfirst_con = 5\nmix = bad",
+	} {
+		if _, err := RunCustomElasticity(bad); err == nil {
+			t.Errorf("props %q accepted", bad)
+		}
+	}
+}

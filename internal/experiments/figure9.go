@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"cloudybench/internal/baselines"
+	"cloudybench/internal/cdb"
+	"cloudybench/internal/core"
+	"cloudybench/internal/node"
+	"cloudybench/internal/patterns"
+	"cloudybench/internal/report"
+	"cloudybench/internal/sim"
+)
+
+// Figure9Result holds one workload's CPU-allocation timeline on CDB3.
+type Figure9Result struct {
+	Workload string
+	// Cores is the allocated vCores sampled once per slot.
+	Cores []float64
+	Min   float64
+	Max   float64
+	// MaxDrop is the largest slot-to-slot decrease — the paper highlights
+	// CloudyBench's 2.25-vCore drop versus the baselines' 1 vCore.
+	MaxDrop float64
+	Commits int64
+}
+
+// Figure9 regenerates the benchmark comparison of §III-I: a 12-slot run on
+// CDB3 for (a) CloudyBench's four elasticity patterns back to back,
+// (b) SysBench at a constant 11 threads, and (c) TPC-C at a constant 44
+// threads — those two thread counts being CloudyBench's valley and peak
+// levels. The output is each run's allocated-vCPU timeline.
+// fig9Prelude is the settling period before sampling begins, letting each
+// workload reach its steady allocation (the paper measures services that
+// were already running, not cold starts).
+const fig9Prelude = 3
+
+func Figure9(sc Scale) (string, []Figure9Result) {
+	const slots = 12
+	epoch := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	results := []Figure9Result{
+		runFig9CloudyBench(sc, epoch, slots),
+		runFig9Baseline(sc, epoch, slots, "sysbench", 11),
+		runFig9Baseline(sc, epoch, slots, "tpcc", 44),
+	}
+	var b strings.Builder
+	b.WriteString("Figure 9 — CPU allocation on CDB3: CloudyBench vs SysBench vs TPC-C\n")
+	fmt.Fprintf(&b, "(%d slots of %s; one sample per slot)\n\n", slots, sc.SlotLength)
+	for _, r := range results {
+		b.WriteString(report.Series(r.Workload, r.Cores, 4))
+		b.WriteString("\n")
+	}
+	b.WriteString("\n")
+	tbl := report.NewTable("", "Workload", "MinCores", "MaxCores", "ScalingRange", "MaxSlotDrop", "Commits")
+	for _, r := range results {
+		tbl.AddRow(r.Workload,
+			fmt.Sprintf("%.2f", r.Min), fmt.Sprintf("%.2f", r.Max),
+			fmt.Sprintf("%.2f", r.Max-r.Min), fmt.Sprintf("%.2f", r.MaxDrop),
+			fmt.Sprintf("%d", r.Commits))
+	}
+	b.WriteString(tbl.String())
+	return b.String(), results
+}
+
+// runFig9CloudyBench drives the four elasticity patterns sequentially on a
+// serverless CDB3 deployment.
+func runFig9CloudyBench(sc Scale, epoch time.Time, slots int) Figure9Result {
+	s := sim.New(epoch)
+	d := cdb.MustDeploy(s, cdb.ProfileFor(cdb.CDB3), cdb.Options{
+		Replicas: -1, Seed: sc.Seed, PreWarm: true,
+		CadenceScale: float64(time.Minute) / float64(sc.SlotLength),
+	})
+	col := core.NewCollector()
+	r := core.NewRunner(s, core.Config{
+		Name: "cb", Seed: sc.Seed, Mix: core.MixReadWrite,
+		Write: d.RW, Read: d.ReadNode, Collector: col,
+	})
+	var cons []int
+	for _, pat := range patterns.ElasticPatterns() {
+		cons = append(cons, pat.Concurrency(sc.Tau)...)
+	}
+	if len(cons) != slots {
+		panic("experiments: pattern slots mismatch")
+	}
+	s.Go("ctl", func(p *sim.Proc) {
+		// Settle at the pattern's entry level before sampling begins.
+		r.SetConcurrency(cons[0])
+		p.Sleep(time.Duration(fig9Prelude) * sc.SlotLength)
+		for _, c := range cons {
+			r.SetConcurrency(c)
+			p.Sleep(sc.SlotLength)
+		}
+		r.Stop()
+		r.Wait(p)
+		d.Shutdown()
+	})
+	if err := s.Run(); err != nil {
+		panic("experiments: figure 9 cloudybench: " + err.Error())
+	}
+	return fig9Result("cloudybench", d.RW(), col.Commits(), sc, slots)
+}
+
+// runFig9Baseline drives a constant-concurrency baseline workload on the
+// same CDB3 profile.
+func runFig9Baseline(sc Scale, epoch time.Time, slots int, workload string, threads int) Figure9Result {
+	s := sim.New(epoch)
+	d := cdb.MustDeploy(s, cdb.ProfileFor(cdb.CDB3), cdb.Options{
+		Replicas: -1, Seed: sc.Seed, NoDataset: true,
+		CadenceScale: float64(time.Minute) / float64(sc.SlotLength),
+	})
+	n := d.RW()
+	var txn baselines.TxnFunc
+	switch workload {
+	case "sysbench":
+		sb := baselines.NewSysBench()
+		if err := sb.CreateTables(n.DB, sc.Seed); err != nil {
+			panic(err)
+		}
+		txn = sb.Txn
+	case "tpcc":
+		tp := baselines.NewTPCC(1)
+		if err := tp.CreateTables(n.DB, sc.Seed); err != nil {
+			panic(err)
+		}
+		txn = tp.Txn
+	default:
+		panic("experiments: unknown baseline " + workload)
+	}
+	col := core.NewCollector()
+	drv := baselines.NewDriver(s, workload, sc.Seed, func() *node.Node { return n }, txn, col)
+	s.Go("ctl", func(p *sim.Proc) {
+		drv.SetConcurrency(threads)
+		p.Sleep(time.Duration(fig9Prelude+slots) * sc.SlotLength)
+		drv.Stop()
+		drv.Wait(p)
+		d.Shutdown()
+	})
+	if err := s.Run(); err != nil {
+		panic("experiments: figure 9 " + workload + ": " + err.Error())
+	}
+	return fig9Result(workload, n, col.Commits(), sc, slots)
+}
+
+func fig9Result(name string, n *node.Node, commits int64, sc Scale, slots int) Figure9Result {
+	from := time.Duration(fig9Prelude) * sc.SlotLength
+	to := from + time.Duration(slots)*sc.SlotLength
+	samples := n.Cores.Sample(from, to, sc.SlotLength)
+	res := Figure9Result{Workload: name, Cores: samples, Commits: commits}
+	if len(samples) == 0 {
+		return res
+	}
+	res.Min, res.Max = samples[0], samples[0]
+	for i, v := range samples {
+		if v < res.Min {
+			res.Min = v
+		}
+		if v > res.Max {
+			res.Max = v
+		}
+		if i > 0 {
+			if drop := samples[i-1] - v; drop > res.MaxDrop {
+				res.MaxDrop = drop
+			}
+		}
+	}
+	return res
+}

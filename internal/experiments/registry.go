@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner regenerates one paper artifact, returning its rendered report.
+type Runner func(sc Scale) string
+
+// registry maps experiment ids to drivers and descriptions.
+var registry = map[string]struct {
+	Desc string
+	Run  Runner
+}{
+	"f5": {"Figure 5 — transaction processing TPS across SF/mix/concurrency",
+		func(sc Scale) string { out, _ := Figure5(sc); return out }},
+	"t5": {"Table V — P-Score with detailed resource cost",
+		func(sc Scale) string { out, _ := TableV(sc); return out }},
+	"f6": {"Figure 6 — elasticity: TPS, total cost, E1-Score",
+		func(sc Scale) string { out, _ := Figure6(sc); return out }},
+	"t6": {"Table VI — scaling time and cost during autoscaling",
+		func(sc Scale) string { out, _ := TableVI(sc); return out }},
+	"t7": {"Table VII — multi-tenancy TPS, resources, cost, T-Score",
+		func(sc Scale) string { out, _ := TableVII(sc); return out }},
+	"t8": {"Table VIII — fail-over F-Score and R-Score",
+		func(sc Scale) string { out, _ := TableVIII(sc); return out }},
+	"f7": {"Figure 7 — CDB4 fail-over timeline",
+		func(sc Scale) string { out, _ := Figure7(sc); return out }},
+	"lag": {"§III-F — replication lag time across IUD mixes",
+		func(sc Scale) string { out, _ := LagTable(sc); return out }},
+	"t9": {"Table IX — overall PERFECT scores (with actual-cost variants)",
+		func(sc Scale) string { out, _ := TableIX(sc); return out }},
+	"f8": {"Figure 8 — buffer size sweep for RDS/CDB1/CDB4",
+		func(sc Scale) string { out, _ := Figure8(sc); return out }},
+	"f9": {"Figure 9 — CPU allocation vs SysBench and TPC-C on CDB3",
+		func(sc Scale) string { out, _ := Figure9(sc); return out }},
+	"ablations": {"Ablations — parallel replay, remote buffer pool, redo pushdown",
+		Ablations},
+}
+
+// IDs returns all experiment ids in sorted order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Describe returns an experiment's description.
+func Describe(id string) (string, bool) {
+	e, ok := registry[id]
+	if !ok {
+		return "", false
+	}
+	return e.Desc, true
+}
+
+// Run executes one experiment by id at the given scale.
+func Run(id string, sc Scale) (string, error) {
+	e, ok := registry[id]
+	if !ok {
+		return "", fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return e.Run(sc), nil
+}

@@ -1,0 +1,109 @@
+// Package experiments maps every table and figure of the paper's
+// evaluation (§III) to a runnable driver: Figure 5 and Table V (OLTP and
+// P-Score), Figure 6 and Table VI (elasticity), Table VII (multi-tenancy),
+// Table VIII and Figure 7 (fail-over), the §III-F lag-time table, Table IX
+// (PERFECT overall), Figure 8 (buffer sweep), and Figure 9 (comparison
+// with SysBench and TPC-C).
+//
+// Each driver takes a Scale: Quick shrinks windows so the whole suite
+// regenerates in minutes of wall time, Paper uses the paper's one-minute
+// slots and full sweeps. Shapes — who wins, by what rough factor, where
+// crossovers fall — are slot-length invariant in the simulator, so Quick
+// reproduces the paper's qualitative results.
+package experiments
+
+import (
+	"time"
+
+	"cloudybench/internal/cdb"
+	"cloudybench/internal/core"
+)
+
+// Scale sizes all experiment windows.
+type Scale struct {
+	Name string
+
+	// OLTP cells (Figure 5, Table V, Figure 8, E2).
+	Warmup      time.Duration
+	Measure     time.Duration
+	Concurrency []int // concurrency sweep for Figure 5
+	SFs         []int // scale factors for Figure 5
+
+	// Elasticity (Figure 6, Table VI, Figure 9).
+	SlotLength time.Duration
+	CostSlots  int
+	Tau        int
+
+	// Fail-over (Table VIII, Figure 7).
+	FailBaseline time.Duration
+	FailTimeout  time.Duration
+	FailConc     int
+
+	// Lag (§III-F table).
+	LagDuration time.Duration
+	LagConc     int
+
+	Seed int64
+}
+
+// Quick is the default scale: seconds-long windows, single scale factor,
+// reduced sweep. The full suite completes in a few minutes.
+var Quick = Scale{
+	Name:         "quick",
+	Warmup:       time.Second,
+	Measure:      3 * time.Second,
+	Concurrency:  []int{50, 150},
+	SFs:          []int{1},
+	SlotLength:   5 * time.Second,
+	CostSlots:    10,
+	Tau:          110,
+	FailBaseline: 6 * time.Second,
+	FailTimeout:  60 * time.Second,
+	FailConc:     60,
+	LagDuration:  4 * time.Second,
+	LagConc:      8,
+	Seed:         42,
+}
+
+// Paper approximates the paper's setup: one-minute slots, the full
+// concurrency sweep, and all three scale factors. Expect tens of minutes.
+var Paper = Scale{
+	Name:         "paper",
+	Warmup:       5 * time.Second,
+	Measure:      20 * time.Second,
+	Concurrency:  []int{50, 100, 150, 200},
+	SFs:          []int{1, 10, 100},
+	SlotLength:   time.Minute,
+	CostSlots:    10,
+	Tau:          110,
+	FailBaseline: 10 * time.Second,
+	FailTimeout:  120 * time.Second,
+	FailConc:     150,
+	LagDuration:  15 * time.Second,
+	LagConc:      16,
+	Seed:         42,
+}
+
+// ScaleByName resolves "quick" or "paper".
+func ScaleByName(name string) (Scale, bool) {
+	switch name {
+	case "", "quick":
+		return Quick, true
+	case "paper":
+		return Paper, true
+	}
+	return Scale{}, false
+}
+
+// Mixes are the paper's three workload modes in reporting order.
+var Mixes = []struct {
+	Name string
+	Mix  core.Mix
+}{
+	{"RO", core.MixReadOnly},
+	{"RW", core.MixReadWrite},
+	{"WO", core.MixWriteOnly},
+}
+
+// SUTs lists the systems in the paper's reporting order.
+var SUTs = cdb.Kinds

@@ -1,0 +1,314 @@
+// Package meter provides virtual-time measurement primitives used by the
+// CloudyBench performance collector: step-function series (for allocated
+// resources such as vCores over time), bucketed counters (for TPS series),
+// and latency reservoirs (for percentile reporting).
+//
+// All timestamps are time.Duration offsets from the simulation epoch, which
+// keeps the package independent of any particular clock implementation.
+package meter
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Step is one segment start in a step-function series.
+type Step struct {
+	At time.Duration
+	V  float64
+}
+
+// Series is a right-continuous step function over virtual time: the value
+// set at time t holds until the next Set. It records, for example, the
+// vCores allocated to a node as an autoscaler resizes it.
+type Series struct {
+	steps []Step
+}
+
+// NewSeries returns a series with the given initial value from time zero.
+func NewSeries(initial float64) *Series {
+	return &Series{steps: []Step{{At: 0, V: initial}}}
+}
+
+// Set records a new value starting at time at. Times must be non-decreasing;
+// setting again at the same instant overwrites.
+func (s *Series) Set(at time.Duration, v float64) {
+	last := &s.steps[len(s.steps)-1]
+	if at < last.At {
+		panic(fmt.Sprintf("meter: Series.Set time going backwards: %v < %v", at, last.At))
+	}
+	if at == last.At {
+		last.V = v
+		return
+	}
+	if last.V == v {
+		return // no-op step, keep the series compact
+	}
+	s.steps = append(s.steps, Step{At: at, V: v})
+}
+
+// At returns the series value at time t.
+func (s *Series) At(t time.Duration) float64 {
+	// Binary search for the last step with At <= t.
+	i := sort.Search(len(s.steps), func(i int) bool { return s.steps[i].At > t })
+	if i == 0 {
+		return s.steps[0].V
+	}
+	return s.steps[i-1].V
+}
+
+// Integral returns the integral of the series over [from, to) in
+// value·seconds.
+func (s *Series) Integral(from, to time.Duration) float64 {
+	if to <= from {
+		return 0
+	}
+	var total float64
+	for i := 0; i < len(s.steps); i++ {
+		segStart := s.steps[i].At
+		segEnd := time.Duration(math.MaxInt64)
+		if i+1 < len(s.steps) {
+			segEnd = s.steps[i+1].At
+		}
+		lo, hi := segStart, segEnd
+		if lo < from {
+			lo = from
+		}
+		if hi > to {
+			hi = to
+		}
+		if hi > lo {
+			total += s.steps[i].V * (hi - lo).Seconds()
+		}
+	}
+	return total
+}
+
+// Avg returns the time-weighted average over [from, to).
+func (s *Series) Avg(from, to time.Duration) float64 {
+	if to <= from {
+		return 0
+	}
+	return s.Integral(from, to) / (to - from).Seconds()
+}
+
+// Max returns the maximum value attained in [from, to].
+func (s *Series) Max(from, to time.Duration) float64 {
+	max := s.At(from)
+	for _, st := range s.steps {
+		if st.At > to {
+			break
+		}
+		if st.At >= from && st.V > max {
+			max = st.V
+		}
+	}
+	return max
+}
+
+// Min returns the minimum value attained in [from, to].
+func (s *Series) Min(from, to time.Duration) float64 {
+	min := s.At(from)
+	for _, st := range s.steps {
+		if st.At > to {
+			break
+		}
+		if st.At >= from && st.V < min {
+			min = st.V
+		}
+	}
+	return min
+}
+
+// Steps returns a copy of the raw step list.
+func (s *Series) Steps() []Step {
+	out := make([]Step, len(s.steps))
+	copy(out, s.steps)
+	return out
+}
+
+// Sample returns the series sampled every interval over [from, to), one
+// value per bucket, evaluated at each bucket start. Used to render
+// Figure 9-style allocation timelines.
+func (s *Series) Sample(from, to, interval time.Duration) []float64 {
+	if interval <= 0 || to <= from {
+		return nil
+	}
+	var out []float64
+	for t := from; t < to; t += interval {
+		out = append(out, s.At(t))
+	}
+	return out
+}
+
+// Counter counts events into fixed-width virtual-time buckets, the basis of
+// every TPS measurement in the testbed.
+type Counter struct {
+	bucket  time.Duration
+	counts  []int64
+	total   int64
+	firstAt time.Duration
+	lastAt  time.Duration
+	any     bool
+}
+
+// NewCounter returns a counter with the given bucket width (e.g. 1 second
+// buckets for per-second TPS).
+func NewCounter(bucket time.Duration) *Counter {
+	if bucket <= 0 {
+		panic("meter: non-positive Counter bucket width")
+	}
+	return &Counter{bucket: bucket}
+}
+
+// Add records n events at time at.
+func (c *Counter) Add(at time.Duration, n int64) {
+	idx := int(at / c.bucket)
+	for len(c.counts) <= idx {
+		c.counts = append(c.counts, 0)
+	}
+	c.counts[idx] += n
+	c.total += n
+	if !c.any || at < c.firstAt {
+		c.firstAt = at
+	}
+	if !c.any || at > c.lastAt {
+		c.lastAt = at
+	}
+	c.any = true
+}
+
+// Total returns the total event count.
+func (c *Counter) Total() int64 { return c.total }
+
+// CountIn returns the number of events recorded in [from, to), counted at
+// bucket granularity (partial buckets are attributed by bucket start).
+func (c *Counter) CountIn(from, to time.Duration) int64 {
+	if to <= from {
+		return 0
+	}
+	lo := int(from / c.bucket)
+	hi := int((to - 1) / c.bucket)
+	var total int64
+	for i := lo; i <= hi && i < len(c.counts); i++ {
+		if i >= 0 {
+			total += c.counts[i]
+		}
+	}
+	return total
+}
+
+// Rate returns the average events per second over [from, to).
+func (c *Counter) Rate(from, to time.Duration) float64 {
+	if to <= from {
+		return 0
+	}
+	return float64(c.CountIn(from, to)) / (to - from).Seconds()
+}
+
+// Buckets returns per-bucket rates (events per second) for buckets that
+// intersect [from, to).
+func (c *Counter) Buckets(from, to time.Duration) []float64 {
+	if to <= from {
+		return nil
+	}
+	lo := int(from / c.bucket)
+	hi := int((to - 1) / c.bucket)
+	out := make([]float64, 0, hi-lo+1)
+	perSec := c.bucket.Seconds()
+	for i := lo; i <= hi; i++ {
+		var n int64
+		if i >= 0 && i < len(c.counts) {
+			n = c.counts[i]
+		}
+		out = append(out, float64(n)/perSec)
+	}
+	return out
+}
+
+// FirstNonZeroBucketAfter returns the start time of the first bucket at or
+// after t with a non-zero count, and whether one exists. The fail-over
+// evaluator uses it to find the instant throughput resumes.
+func (c *Counter) FirstNonZeroBucketAfter(t time.Duration) (time.Duration, bool) {
+	start := int(t / c.bucket)
+	if start < 0 {
+		start = 0
+	}
+	for i := start; i < len(c.counts); i++ {
+		if c.counts[i] > 0 {
+			return time.Duration(i) * c.bucket, true
+		}
+	}
+	return 0, false
+}
+
+// FirstBucketReaching returns the start time of the first bucket at or after
+// t whose rate reaches target events/second, and whether one exists. The
+// fail-over evaluator uses it to find TPS recovery.
+func (c *Counter) FirstBucketReaching(t time.Duration, target float64) (time.Duration, bool) {
+	start := int(t / c.bucket)
+	if start < 0 {
+		start = 0
+	}
+	perSec := c.bucket.Seconds()
+	for i := start; i < len(c.counts); i++ {
+		if float64(c.counts[i])/perSec >= target {
+			return time.Duration(i) * c.bucket, true
+		}
+	}
+	return 0, false
+}
+
+// Reservoir collects latency samples for percentile reporting. It keeps all
+// samples (simulation scale keeps counts modest); Quantile sorts lazily.
+type Reservoir struct {
+	samples []time.Duration
+	sorted  bool
+	sum     time.Duration
+}
+
+// NewReservoir returns an empty latency reservoir.
+func NewReservoir() *Reservoir { return &Reservoir{} }
+
+// Add records one latency sample.
+func (r *Reservoir) Add(d time.Duration) {
+	r.samples = append(r.samples, d)
+	r.sorted = false
+	r.sum += d
+}
+
+// Count returns the number of samples.
+func (r *Reservoir) Count() int { return len(r.samples) }
+
+// Mean returns the average latency, or zero with no samples.
+func (r *Reservoir) Mean() time.Duration {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	return r.sum / time.Duration(len(r.samples))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) by nearest-rank, or zero
+// with no samples.
+func (r *Reservoir) Quantile(q float64) time.Duration {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	if !r.sorted {
+		sort.Slice(r.samples, func(i, j int) bool { return r.samples[i] < r.samples[j] })
+		r.sorted = true
+	}
+	if q <= 0 {
+		return r.samples[0]
+	}
+	if q >= 1 {
+		return r.samples[len(r.samples)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(r.samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return r.samples[idx]
+}

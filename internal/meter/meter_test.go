@@ -1,0 +1,229 @@
+package meter
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sec(n float64) time.Duration { return time.Duration(n * float64(time.Second)) }
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSeriesAtAndSteps(t *testing.T) {
+	s := NewSeries(4)
+	s.Set(sec(10), 8)
+	s.Set(sec(20), 2)
+	cases := []struct {
+		at   time.Duration
+		want float64
+	}{
+		{0, 4}, {sec(5), 4}, {sec(10), 8}, {sec(15), 8}, {sec(20), 2}, {sec(100), 2},
+	}
+	for _, c := range cases {
+		if got := s.At(c.at); got != c.want {
+			t.Errorf("At(%v) = %v, want %v", c.at, got, c.want)
+		}
+	}
+}
+
+func TestSeriesSetSameInstantOverwrites(t *testing.T) {
+	s := NewSeries(1)
+	s.Set(sec(5), 2)
+	s.Set(sec(5), 3)
+	if got := s.At(sec(5)); got != 3 {
+		t.Fatalf("At(5s) = %v, want 3 (overwrite)", got)
+	}
+	if n := len(s.Steps()); n != 2 {
+		t.Fatalf("steps = %d, want 2", n)
+	}
+}
+
+func TestSeriesNoOpStepCompacted(t *testing.T) {
+	s := NewSeries(5)
+	s.Set(sec(3), 5)
+	if n := len(s.Steps()); n != 1 {
+		t.Fatalf("steps = %d, want 1 (no-op compacted)", n)
+	}
+}
+
+func TestSeriesBackwardsTimePanics(t *testing.T) {
+	s := NewSeries(1)
+	s.Set(sec(10), 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("backwards Set did not panic")
+		}
+	}()
+	s.Set(sec(5), 3)
+}
+
+func TestSeriesIntegralAndAvg(t *testing.T) {
+	s := NewSeries(4)
+	s.Set(sec(10), 8)
+	s.Set(sec(20), 0)
+	// [0,10): 4*10 = 40; [10,20): 8*10 = 80; [20,30): 0.
+	if got := s.Integral(0, sec(30)); !almost(got, 120) {
+		t.Fatalf("Integral(0,30s) = %v, want 120", got)
+	}
+	if got := s.Integral(sec(5), sec(15)); !almost(got, 4*5+8*5) {
+		t.Fatalf("Integral(5,15s) = %v, want 60", got)
+	}
+	if got := s.Avg(0, sec(20)); !almost(got, 6) {
+		t.Fatalf("Avg(0,20s) = %v, want 6", got)
+	}
+	if got := s.Integral(sec(10), sec(10)); got != 0 {
+		t.Fatalf("empty-window integral = %v, want 0", got)
+	}
+}
+
+func TestSeriesMaxMin(t *testing.T) {
+	s := NewSeries(4)
+	s.Set(sec(10), 8)
+	s.Set(sec(20), 2)
+	if got := s.Max(0, sec(30)); got != 8 {
+		t.Fatalf("Max = %v, want 8", got)
+	}
+	if got := s.Min(0, sec(30)); got != 2 {
+		t.Fatalf("Min = %v, want 2", got)
+	}
+	if got := s.Max(0, sec(5)); got != 4 {
+		t.Fatalf("Max over flat prefix = %v, want 4", got)
+	}
+}
+
+func TestSeriesSample(t *testing.T) {
+	s := NewSeries(1)
+	s.Set(sec(2), 3)
+	got := s.Sample(0, sec(4), sec(1))
+	want := []float64{1, 1, 3, 3}
+	if len(got) != len(want) {
+		t.Fatalf("sample length = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sample[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if s.Sample(0, 0, sec(1)) != nil {
+		t.Fatal("empty window sample should be nil")
+	}
+}
+
+func TestSeriesIntegralMatchesSampledSum(t *testing.T) {
+	// Property: integral over aligned buckets equals the sum of At(bucket
+	// start) * width because the series only changes on whole seconds here.
+	check := func(vals []uint8) bool {
+		s := NewSeries(float64(1))
+		for i, v := range vals {
+			s.Set(sec(float64(i+1)), float64(v%16))
+		}
+		end := sec(float64(len(vals) + 1))
+		var sum float64
+		for ti := time.Duration(0); ti < end; ti += sec(1) {
+			sum += s.At(ti)
+		}
+		return almost(sum, s.Integral(0, end))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounterRates(t *testing.T) {
+	c := NewCounter(time.Second)
+	c.Add(sec(0.5), 10)
+	c.Add(sec(1.2), 20)
+	c.Add(sec(1.9), 5)
+	if c.Total() != 35 {
+		t.Fatalf("total = %d, want 35", c.Total())
+	}
+	if got := c.CountIn(0, sec(1)); got != 10 {
+		t.Fatalf("CountIn[0,1) = %d, want 10", got)
+	}
+	if got := c.CountIn(sec(1), sec(2)); got != 25 {
+		t.Fatalf("CountIn[1,2) = %d, want 25", got)
+	}
+	if got := c.Rate(0, sec(2)); !almost(got, 17.5) {
+		t.Fatalf("Rate = %v, want 17.5", got)
+	}
+	buckets := c.Buckets(0, sec(3))
+	want := []float64{10, 25, 0}
+	for i := range want {
+		if !almost(buckets[i], want[i]) {
+			t.Fatalf("buckets = %v, want %v", buckets, want)
+		}
+	}
+}
+
+func TestCounterEmptyWindow(t *testing.T) {
+	c := NewCounter(time.Second)
+	if c.CountIn(sec(5), sec(5)) != 0 || c.Rate(sec(5), sec(5)) != 0 {
+		t.Fatal("empty window should count zero")
+	}
+	if c.Buckets(sec(1), sec(1)) != nil {
+		t.Fatal("empty window buckets should be nil")
+	}
+}
+
+func TestCounterRecoverySearches(t *testing.T) {
+	c := NewCounter(time.Second)
+	c.Add(sec(0.1), 100) // steady before failure
+	c.Add(sec(1.1), 100)
+	// gap: seconds 2..5 are zero (failure)
+	c.Add(sec(6.1), 10) // trickle resumes
+	c.Add(sec(7.1), 50)
+	c.Add(sec(8.1), 100) // full recovery
+
+	at, ok := c.FirstNonZeroBucketAfter(sec(2))
+	if !ok || at != sec(6) {
+		t.Fatalf("FirstNonZeroBucketAfter = %v/%v, want 6s", at, ok)
+	}
+	at, ok = c.FirstBucketReaching(sec(2), 100)
+	if !ok || at != sec(8) {
+		t.Fatalf("FirstBucketReaching(100) = %v/%v, want 8s", at, ok)
+	}
+	if _, ok := c.FirstBucketReaching(sec(2), 1000); ok {
+		t.Fatal("unreachable target should report not found")
+	}
+}
+
+func TestReservoirQuantiles(t *testing.T) {
+	r := NewReservoir()
+	if r.Mean() != 0 || r.Quantile(0.5) != 0 {
+		t.Fatal("empty reservoir should report zeros")
+	}
+	for i := 1; i <= 100; i++ {
+		r.Add(time.Duration(i) * time.Millisecond)
+	}
+	if r.Count() != 100 {
+		t.Fatalf("count = %d", r.Count())
+	}
+	if got := r.Mean(); got != 50500*time.Microsecond {
+		t.Fatalf("mean = %v, want 50.5ms", got)
+	}
+	if got := r.Quantile(0.5); got != 50*time.Millisecond {
+		t.Fatalf("p50 = %v, want 50ms", got)
+	}
+	if got := r.Quantile(0.99); got != 99*time.Millisecond {
+		t.Fatalf("p99 = %v, want 99ms", got)
+	}
+	if got := r.Quantile(0); got != time.Millisecond {
+		t.Fatalf("p0 = %v, want 1ms", got)
+	}
+	if got := r.Quantile(1); got != 100*time.Millisecond {
+		t.Fatalf("p100 = %v, want 100ms", got)
+	}
+}
+
+func TestReservoirInterleavedAddQuantile(t *testing.T) {
+	r := NewReservoir()
+	r.Add(3 * time.Millisecond)
+	r.Add(1 * time.Millisecond)
+	_ = r.Quantile(0.5)
+	r.Add(2 * time.Millisecond) // must re-sort after add
+	if got := r.Quantile(0.5); got != 2*time.Millisecond {
+		t.Fatalf("p50 after interleaved add = %v, want 2ms", got)
+	}
+}

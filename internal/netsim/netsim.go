@@ -1,0 +1,117 @@
+// Package netsim models the network fabrics connecting compute, log, page,
+// and storage services in a disaggregated cloud database: a link has a
+// propagation latency and a shared bandwidth channel. The paper's SUTs use
+// 10 Gbps TCP/IP fabrics except CDB4, whose memory-disaggregation tier rides
+// a 10 Gbps RDMA fabric with roughly an order of magnitude lower latency
+// (paper Table IV and §III-F).
+package netsim
+
+import (
+	"time"
+
+	"cloudybench/internal/sim"
+)
+
+// Fabric identifies the link technology, which determines both the latency
+// class and the resource-unit price (paper Table III prices TCP/IP and RDMA
+// bandwidth differently).
+type Fabric string
+
+// Supported fabrics.
+const (
+	TCP  Fabric = "tcp"
+	RDMA Fabric = "rdma"
+	// Local marks an in-box path (RDS's coupled compute and storage):
+	// negligible latency, no provisioned network bandwidth billed.
+	Local Fabric = "local"
+)
+
+// DefaultLatency returns the canonical one-way latency for a fabric inside
+// one cloud region: intra-VPC TCP round trips are a few hundred
+// microseconds, RDMA an order of magnitude lower, local paths negligible.
+func DefaultLatency(f Fabric) time.Duration {
+	switch f {
+	case RDMA:
+		return 10 * time.Microsecond
+	case Local:
+		return 1 * time.Microsecond
+	default:
+		return 100 * time.Microsecond
+	}
+}
+
+// Link is a one-directional network path with propagation latency and a
+// shared bandwidth channel. Concurrent transfers queue for bandwidth, so a
+// saturated link produces honest transfer delays.
+type Link struct {
+	fabric  Fabric
+	latency time.Duration
+	gbps    float64
+	channel *sim.Queue // one "op" = one byte
+	bytes   int64
+}
+
+// NewLink creates a link of the given fabric with the given bandwidth. A
+// non-positive gbps means unconstrained bandwidth (latency only).
+func NewLink(s *sim.Sim, fabric Fabric, gbps float64) *Link {
+	var bytesPerSec float64
+	if gbps > 0 {
+		bytesPerSec = gbps * 1e9 / 8
+	}
+	return &Link{
+		fabric:  fabric,
+		latency: DefaultLatency(fabric),
+		gbps:    gbps,
+		channel: sim.NewQueue(s, bytesPerSec),
+	}
+}
+
+// WithLatency overrides the link's one-way latency and returns the link.
+func (l *Link) WithLatency(d time.Duration) *Link {
+	l.latency = d
+	return l
+}
+
+// Fabric returns the link's fabric type.
+func (l *Link) Fabric() Fabric { return l.fabric }
+
+// Gbps returns the provisioned bandwidth (0 = unconstrained).
+func (l *Link) Gbps() float64 { return l.gbps }
+
+// Latency returns the one-way propagation latency.
+func (l *Link) Latency() time.Duration { return l.latency }
+
+// Send transfers bytes over the link, blocking the process for propagation
+// latency plus bandwidth (and any queueing behind concurrent transfers).
+// It returns the total delay experienced.
+func (l *Link) Send(p *sim.Proc, bytes int) time.Duration {
+	if bytes < 0 {
+		bytes = 0
+	}
+	l.bytes += int64(bytes)
+	d := l.channel.Reserve(bytes) + l.latency
+	p.Sleep(d)
+	return d
+}
+
+// Reserve books a transfer on the link and returns its total delay
+// (bandwidth queueing + propagation) without sleeping, so callers can fold
+// several path segments into one scheduler block.
+func (l *Link) Reserve(bytes int) time.Duration {
+	if bytes < 0 {
+		bytes = 0
+	}
+	l.bytes += int64(bytes)
+	return l.channel.Reserve(bytes) + l.latency
+}
+
+// RoundTrip performs a request/response exchange: request bytes out,
+// response bytes back, each paying propagation latency.
+func (l *Link) RoundTrip(p *sim.Proc, reqBytes, respBytes int) time.Duration {
+	d := l.Send(p, reqBytes)
+	d += l.Send(p, respBytes)
+	return d
+}
+
+// BytesSent returns the cumulative payload bytes pushed through the link.
+func (l *Link) BytesSent() int64 { return l.bytes }

@@ -1,0 +1,410 @@
+// Package node models one database compute node: an engine instance plus
+// the resource envelope it executes in — a vCore pool, a buffer pool, and
+// an architecture-specific storage backend that prices page misses, dirty
+// writebacks, and commit durability.
+//
+// The same Node type serves every SUT architecture; what differs between
+// AWS RDS and the four CDBs is the StorageBackend wiring, whether the CPU
+// pool is owned or shared (elastic-pool multi-tenancy), and the autoscaler
+// driving SetVCores. Performance differences in the experiments emerge from
+// these wirings rather than from per-SUT special cases.
+package node
+
+import (
+	"errors"
+	"time"
+
+	"cloudybench/internal/engine"
+	"cloudybench/internal/meter"
+	"cloudybench/internal/sim"
+	"cloudybench/internal/storage"
+)
+
+// State is the node lifecycle state.
+type State int
+
+// Node states.
+const (
+	Running State = iota
+	// Paused is the scaled-to-zero state (CDB3's pause-and-resume): no
+	// resources are allocated; the first arriving request triggers resume.
+	Paused
+	// Down is a failed or restarting node: requests error immediately.
+	Down
+	// Recovering accepts no work while the node replays logs after restart.
+	Recovering
+)
+
+func (s State) String() string {
+	switch s {
+	case Running:
+		return "running"
+	case Paused:
+		return "paused"
+	case Down:
+		return "down"
+	default:
+		return "recovering"
+	}
+}
+
+// ErrNodeDown is returned for requests to a failed node.
+var ErrNodeDown = errors.New("node: node is down")
+
+// StorageBackend prices the physical paths of one architecture.
+type StorageBackend interface {
+	// FetchPage pays the cost of bringing a page into the local buffer
+	// after a miss (local disk, disaggregated store, or remote buffer).
+	FetchPage(p *sim.Proc, pg storage.PageID)
+	// FlushPage pays the cost of writing back a dirty page (ARIES-style
+	// engines; log-is-the-database architectures make this free).
+	FlushPage(p *sim.Proc, pg storage.PageID)
+	// WriteLog pays commit durability for the given WAL bytes.
+	WriteLog(p *sim.Proc, bytes int)
+}
+
+// MilliPerCore converts vCores to the milli-vCore units of the CPU pool.
+const MilliPerCore = 1000
+
+// Config sets a node's resource envelope and service-cost constants.
+type Config struct {
+	Name        string
+	VCores      float64 // initial allocation
+	MemoryBytes int64   // buffer memory
+
+	// OpCPU is the CPU service time of one row operation at full-core
+	// speed; TxnCPU is the fixed per-transaction overhead (parse, plan,
+	// commit bookkeeping).
+	OpCPU  time.Duration
+	TxnCPU time.Duration
+
+	// SharedCPU, if non-nil, makes the node draw from an external pool
+	// (elastic-pool multi-tenancy) instead of owning one.
+	SharedCPU *sim.Resource
+
+	// CheckpointInterval, if positive, runs a periodic checkpoint that
+	// flushes all dirty pages through the backend (ARIES engines). Zero
+	// disables checkpointing (redo-pushdown architectures).
+	CheckpointInterval time.Duration
+}
+
+// Node is one compute node.
+type Node struct {
+	S       *sim.Sim
+	Name    string
+	DB      *engine.DB
+	Buf     *storage.BufferPool
+	Backend StorageBackend
+
+	cpu      *sim.Resource
+	ownsCPU  bool
+	opCPU    time.Duration
+	txnCPU   time.Duration
+	memBytes int64
+
+	state     State
+	stateCond *sim.Cond
+	// OnResumeNeeded is invoked (if set) when a request arrives at a
+	// Paused node; the autoscaler is expected to eventually Resume it.
+	OnResumeNeeded func()
+	// OnCommit is invoked with the committed WAL records (replication).
+	OnCommit func(p *sim.Proc, recs []storage.Record)
+
+	// Cores tracks allocated vCores over virtual time for cost accounting
+	// and Figure 9's allocation timeline; Mem tracks buffer gigabytes.
+	Cores *meter.Series
+	Mem   *meter.Series
+
+	checkpointEvery time.Duration
+	stopCheckpoint  bool
+
+	ioLatch               map[storage.PageID]*sim.Cond
+	pageReads, pageWrites int64
+}
+
+// New creates a node with its own engine database.
+func New(s *sim.Sim, cfg Config, backend StorageBackend) *Node {
+	n := &Node{
+		S:        s,
+		Name:     cfg.Name,
+		DB:       engine.NewDB(s),
+		Buf:      storage.NewBufferPoolBytes(cfg.MemoryBytes),
+		Backend:  backend,
+		opCPU:    cfg.OpCPU,
+		txnCPU:   cfg.TxnCPU,
+		memBytes: cfg.MemoryBytes,
+		state:    Running,
+		Cores:    meter.NewSeries(cfg.VCores),
+		Mem:      meter.NewSeries(float64(cfg.MemoryBytes) / (1 << 30)),
+		ioLatch:  make(map[storage.PageID]*sim.Cond),
+	}
+	n.stateCond = sim.NewCond(s)
+	if cfg.SharedCPU != nil {
+		n.cpu = cfg.SharedCPU
+	} else {
+		n.cpu = sim.NewResource(s, int64(cfg.VCores*MilliPerCore))
+		n.ownsCPU = true
+	}
+	n.checkpointEvery = cfg.CheckpointInterval
+	if n.checkpointEvery > 0 {
+		s.Go(n.Name+"/checkpointer", n.checkpointLoop)
+	}
+	return n
+}
+
+// CPU exposes the vCore pool (autoscalers and tests).
+func (n *Node) CPU() *sim.Resource { return n.cpu }
+
+// State returns the current lifecycle state.
+func (n *Node) State() State { return n.state }
+
+// SetState transitions the node, waking any requests waiting on resume.
+func (n *Node) SetState(st State) {
+	n.state = st
+	n.stateCond.Broadcast()
+}
+
+// VCores returns the currently allocated vCores.
+func (n *Node) VCores() float64 {
+	return float64(n.cpu.Capacity()) / MilliPerCore
+}
+
+// SetVCores resizes the node's own CPU pool and records the step for cost
+// accounting. It must not be called on nodes drawing from a shared pool.
+func (n *Node) SetVCores(at time.Duration, v float64) {
+	if !n.ownsCPU {
+		panic("node: SetVCores on shared-pool node")
+	}
+	n.cpu.SetCapacity(int64(v * MilliPerCore))
+	n.Cores.Set(at, v)
+}
+
+// SetMemoryBytes resizes the buffer pool (serverless memory scaling),
+// flushing dirty pages evicted by a shrink through the backend.
+func (n *Node) SetMemoryBytes(p *sim.Proc, at time.Duration, bytes int64) {
+	n.memBytes = bytes
+	dirty := n.Buf.Resize(int(bytes / storage.PageSize))
+	for i := 0; i < dirty; i++ {
+		n.Backend.FlushPage(p, storage.PageID{})
+	}
+	n.Mem.Set(at, float64(bytes)/(1<<30))
+}
+
+// MemoryBytes returns the configured buffer memory.
+func (n *Node) MemoryBytes() int64 { return n.memBytes }
+
+// PageStats returns cumulative page read/write counts.
+func (n *Node) PageStats() (reads, writes int64) { return n.pageReads, n.pageWrites }
+
+// AwaitRunning blocks until the node is Running. Paused nodes trigger the
+// resume hook; Down/Recovering nodes fail immediately (clients see an
+// unavailable service during fail-over, as in the paper's phase-one
+// measurement).
+func (n *Node) AwaitRunning(p *sim.Proc) error {
+	for {
+		switch n.state {
+		case Running:
+			return nil
+		case Down, Recovering:
+			return ErrNodeDown
+		case Paused:
+			if n.OnResumeNeeded != nil {
+				n.OnResumeNeeded()
+			}
+			n.stateCond.Wait(p)
+		}
+	}
+}
+
+// ChargeCPU occupies the node's CPU for work of the given full-core service
+// time. Allocations below one core stretch service time proportionally
+// (half a vCore runs at half speed); multi-core pools serve that many
+// operations concurrently.
+func (n *Node) ChargeCPU(p *sim.Proc, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	for {
+		grain := int64(MilliPerCore)
+		if c := n.cpu.Capacity(); c < grain {
+			if c <= 0 {
+				// Zero capacity (mid-scale-down): block until any
+				// capacity appears, then re-evaluate the grain.
+				n.cpu.Acquire(p, 1)
+				n.cpu.Release(1)
+				continue
+			}
+			grain = c
+		}
+		stretch := time.Duration(float64(d) * float64(MilliPerCore) / float64(grain))
+		n.cpu.Acquire(p, grain)
+		p.Sleep(stretch)
+		n.cpu.Release(grain)
+		return
+	}
+}
+
+// ReadPage charges one page access: buffer hit is free; a miss pays the
+// backend fetch and may evict a dirty page (paying writeback). Concurrent
+// misses on the same page single-flight through an IO-in-progress latch —
+// without it, a hot page draws one duplicate fetch per waiting worker and
+// the storage channel collapses under load (the classic miss storm).
+func (n *Node) ReadPage(p *sim.Proc, pg storage.PageID) {
+	n.pageReads++
+	for {
+		if n.Buf.Pin(pg) {
+			return
+		}
+		latch, inFlight := n.ioLatch[pg]
+		if inFlight {
+			latch.Wait(p)
+			continue // re-check: the fetcher admitted the page
+		}
+		latch = sim.NewCond(n.S)
+		n.ioLatch[pg] = latch
+		n.Backend.FetchPage(p, pg)
+		_, dirty, ok := n.Buf.Admit(pg)
+		delete(n.ioLatch, pg)
+		latch.Broadcast()
+		if ok && dirty {
+			n.Backend.FlushPage(p, pg)
+		}
+		return
+	}
+}
+
+// WritePage charges a page modification: same as a read plus dirtying.
+func (n *Node) WritePage(p *sim.Proc, pg storage.PageID) {
+	n.pageWrites++
+	n.ReadPage(p, pg)
+	n.Buf.MarkDirty(pg)
+}
+
+// checkpointLoop periodically flushes all dirty pages (ARIES engines). The
+// writeback I/O shares the backend with foreground traffic, so heavy write
+// loads suffer — the RDS degradation the paper observes at SF10+/high
+// concurrency (§III-B).
+func (n *Node) checkpointLoop(p *sim.Proc) {
+	for !n.stopCheckpoint {
+		p.Sleep(n.checkpointEvery)
+		if n.stopCheckpoint {
+			return
+		}
+		if n.state != Running {
+			continue
+		}
+		dirty := n.Buf.FlushAll()
+		for i := 0; i < dirty; i++ {
+			n.Backend.FlushPage(p, storage.PageID{})
+		}
+	}
+}
+
+// StopCheckpointer terminates the background checkpointer so simulations
+// can drain.
+func (n *Node) StopCheckpointer() { n.stopCheckpoint = true }
+
+// Tx is a transaction executing on this node, charging resources around
+// every engine operation.
+type Tx struct {
+	n     *Node
+	p     *sim.Proc
+	inner *engine.Txn
+}
+
+// Begin starts a transaction, blocking through pause/resume and failing on
+// a down node.
+func (n *Node) Begin(p *sim.Proc) (*Tx, error) {
+	if err := n.AwaitRunning(p); err != nil {
+		return nil, err
+	}
+	n.ChargeCPU(p, n.txnCPU)
+	return &Tx{n: n, p: p, inner: n.DB.Begin(p)}, nil
+}
+
+// Get reads a row with a shared lock, charging CPU and page access.
+func (t *Tx) Get(tbl *engine.Table, k engine.Key) (engine.Row, error) {
+	t.n.ChargeCPU(t.p, t.n.opCPU)
+	row, page, err := t.inner.Get(tbl, k)
+	if err != nil && !errors.Is(err, engine.ErrRowNotFound) {
+		return nil, err
+	}
+	t.n.ReadPage(t.p, page)
+	return row, err
+}
+
+// GetForUpdate reads a row with an exclusive lock (read-modify-write),
+// charging CPU and page access.
+func (t *Tx) GetForUpdate(tbl *engine.Table, k engine.Key) (engine.Row, error) {
+	t.n.ChargeCPU(t.p, t.n.opCPU)
+	row, page, err := t.inner.GetForUpdate(tbl, k)
+	if err != nil && !errors.Is(err, engine.ErrRowNotFound) {
+		return nil, err
+	}
+	t.n.ReadPage(t.p, page)
+	return row, err
+}
+
+// Insert adds a row, charging CPU and the page write.
+func (t *Tx) Insert(tbl *engine.Table, row engine.Row) error {
+	t.n.ChargeCPU(t.p, t.n.opCPU)
+	page, err := t.inner.Insert(tbl, row)
+	if err != nil {
+		return err
+	}
+	t.n.WritePage(t.p, page)
+	return nil
+}
+
+// Update replaces a row, charging CPU and the page write.
+func (t *Tx) Update(tbl *engine.Table, k engine.Key, row engine.Row) error {
+	t.n.ChargeCPU(t.p, t.n.opCPU)
+	page, err := t.inner.Update(tbl, k, row)
+	if err != nil {
+		return err
+	}
+	t.n.WritePage(t.p, page)
+	return nil
+}
+
+// Delete removes a row, charging CPU and the page write.
+func (t *Tx) Delete(tbl *engine.Table, k engine.Key) error {
+	t.n.ChargeCPU(t.p, t.n.opCPU)
+	page, err := t.inner.Delete(tbl, k)
+	if err != nil {
+		return err
+	}
+	t.n.WritePage(t.p, page)
+	return nil
+}
+
+// Commit pays WAL durability through the backend, commits, and hands the
+// committed records to the replication hook.
+func (t *Tx) Commit() error {
+	if bytes := t.inner.WALBytes(); bytes > 0 {
+		t.n.Backend.WriteLog(t.p, bytes)
+	}
+	recs, err := t.inner.Commit()
+	if err != nil {
+		return err
+	}
+	if len(recs) > 0 && t.n.OnCommit != nil {
+		t.n.OnCommit(t.p, recs)
+	}
+	return nil
+}
+
+// Abort rolls the transaction back.
+func (t *Tx) Abort() error { return t.inner.Abort() }
+
+// Read serves a lock-free read on this node (the replica read path),
+// charging CPU and page access. Missing rows return (nil, false).
+func (n *Node) Read(p *sim.Proc, table string, k engine.Key) (engine.Row, bool, error) {
+	if err := n.AwaitRunning(p); err != nil {
+		return nil, false, err
+	}
+	n.ChargeCPU(p, n.opCPU)
+	row, page, ok := n.DB.Read(table, k)
+	n.ReadPage(p, page)
+	return row, ok, nil
+}

@@ -1,0 +1,147 @@
+package patterns
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestElasticCanonicalConcurrency(t *testing.T) {
+	// Paper §III-C with τ=110: (0,110,0), (11,88,11), (44,22,44), (55,0,55).
+	cases := []struct {
+		p    Elastic
+		want []int
+	}{
+		{SinglePeak, []int{0, 110, 0}},
+		{LargeSpike, []int{11, 88, 11}},
+		{SingleValley, []int{44, 22, 44}},
+		{ZeroValley, []int{55, 0, 55}},
+	}
+	for _, c := range cases {
+		got := c.p.Concurrency(110)
+		for i := range c.want {
+			if got[i] != c.want[i] {
+				t.Errorf("%s: concurrency = %v, want %v", c.p.Name, got, c.want)
+			}
+		}
+		if c.p.Slots() != 3 {
+			t.Errorf("%s slots = %d", c.p.Name, c.p.Slots())
+		}
+	}
+	if len(ElasticPatterns()) != 4 {
+		t.Fatal("four basic patterns expected")
+	}
+}
+
+func TestWithParetoDefaults(t *testing.T) {
+	e := WithPareto("default", 4, 0)
+	if len(e.Proportions) != 4 {
+		t.Fatal("slot count")
+	}
+	var sum float64
+	for i, p := range e.Proportions {
+		sum += p
+		if i > 0 && p >= e.Proportions[i-1] {
+			t.Fatal("pareto proportions must decay")
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("sum = %v", sum)
+	}
+}
+
+func TestCustomValidation(t *testing.T) {
+	if _, err := Custom("x", nil); err == nil {
+		t.Fatal("empty proportions accepted")
+	}
+	if _, err := Custom("x", []float64{0.5, 1.5}); err == nil {
+		t.Fatal("proportion > 1 accepted")
+	}
+	e, err := Custom("x", []float64{0.2, 0.8})
+	if err != nil || e.Concurrency(100)[1] != 80 {
+		t.Fatalf("%v %v", e, err)
+	}
+}
+
+func TestPaperTenancyShapes(t *testing.T) {
+	a := PaperTenancy(HighContention)
+	if a.Tenants() != 3 || a.Slots() != 3 || !a.OverThreshold || a.Sequential {
+		t.Fatalf("pattern a: %+v", a)
+	}
+	if got := a.TotalPerSlot(); got[0] != 264+99+33 {
+		t.Fatalf("pattern a total = %v", got)
+	}
+	d := PaperTenancy(StaggeredLow)
+	if !d.Sequential || d.OverThreshold {
+		t.Fatalf("pattern d flags: %+v", d)
+	}
+	// Staggered: exactly one active tenant per slot.
+	for s := 0; s < d.Slots(); s++ {
+		active := 0
+		for _, row := range d.PerTenant {
+			if row[s] > 0 {
+				active++
+			}
+		}
+		if active != 1 {
+			t.Fatalf("staggered slot %d has %d active tenants", s, active)
+		}
+	}
+	if got := d.TotalPerSlot(); got[0] != 10 || got[1] != 20 || got[2] != 30 {
+		t.Fatalf("pattern d totals = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown kind did not panic")
+		}
+	}()
+	PaperTenancy("nope")
+}
+
+func TestGenerateTenancyFollowsPaperMethod(t *testing.T) {
+	// §II-D example ratios 10%/30%/60% with τ=100.
+	ratios := []float64{0.1, 0.3, 0.6}
+	b, err := GenerateTenancy(LowContention, 100, ratios, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.PerTenant[0][0] != 10 || b.PerTenant[1][1] != 30 || b.PerTenant[2][2] != 60 {
+		t.Fatalf("low contention: %v", b.PerTenant)
+	}
+	a, _ := GenerateTenancy(HighContention, 100, ratios, 50)
+	if a.PerTenant[0][0] != 60 {
+		t.Fatalf("high contention += delta: %v", a.PerTenant)
+	}
+	if !a.OverThreshold {
+		t.Fatal("high contention must be over threshold")
+	}
+	// Staggered low: §II-D tenants (10%τ,0,0),(0,20%? ...) — our ratios
+	// place tenant t in slot t.
+	d, _ := GenerateTenancy(StaggeredLow, 100, []float64{0.1, 0.2, 0.3}, 0)
+	want := [][]int{{10, 0, 0}, {0, 20, 0}, {0, 0, 30}}
+	for i := range want {
+		for j := range want[i] {
+			if d.PerTenant[i][j] != want[i][j] {
+				t.Fatalf("staggered low = %v", d.PerTenant)
+			}
+		}
+	}
+	// Staggered high adds 100%τ.
+	c, _ := GenerateTenancy(StaggeredHigh, 100, []float64{0.1, 0.2, 0.3}, 0)
+	if c.PerTenant[0][0] != 110 || c.PerTenant[1][1] != 120 {
+		t.Fatalf("staggered high = %v", c.PerTenant)
+	}
+	if _, err := GenerateTenancy(HighContention, 100, nil, 0); err == nil {
+		t.Fatal("empty ratios accepted")
+	}
+	if _, err := GenerateTenancy("nope", 100, ratios, 0); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestSchedule(t *testing.T) {
+	sc := Schedule{SlotLength: time.Minute}
+	if sc.SlotStart(2) != 2*time.Minute || sc.Total(3) != 3*time.Minute {
+		t.Fatal("schedule math")
+	}
+}

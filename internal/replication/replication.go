@@ -1,0 +1,257 @@
+// Package replication implements the log-shipping pipelines that keep
+// read-only replicas (and page services) synchronized with the read-write
+// node. Architectures differ in three calibratable dimensions the paper
+// calls out in §III-F:
+//
+//   - path: how many hops a record crosses (CDB2's separate log and page
+//     services add a hop and have the highest lag; CDB4's RDMA ships
+//     directly into the remote buffer with the lowest);
+//   - batching: how long the shipper accumulates commits before sending;
+//   - replay: sequential (CDB1, CDB2) versus parallel lanes partitioned by
+//     page (CDB3's parallel log replay).
+//
+// Lag is measured per DML type (insert/update/delete) because the paper's
+// C-Score averages the three.
+package replication
+
+import (
+	"time"
+
+	"cloudybench/internal/meter"
+	"cloudybench/internal/netsim"
+	"cloudybench/internal/node"
+	"cloudybench/internal/sim"
+	"cloudybench/internal/storage"
+)
+
+// Config describes one replication stream's architecture.
+type Config struct {
+	Name string
+	// BatchInterval is how long the shipper accumulates committed records
+	// before shipping a batch. Zero ships immediately.
+	BatchInterval time.Duration
+	// Link carries shipped batches (nil = free local hand-off).
+	Link *netsim.Link
+	// ExtraHops adds fixed per-batch latencies for intermediate services
+	// (log service -> page service).
+	ExtraHops []time.Duration
+	// Lanes is the number of parallel replay lanes; 1 replays sequentially.
+	// Records are partitioned by page so per-key order is preserved.
+	Lanes int
+	// PerRecord is the replay service time of one record in a lane.
+	PerRecord time.Duration
+	// DeleteFactor scales replay cost for deletes (most CDBs tombstone
+	// logically, making deletes cheaper — §III-F's "less lag time with
+	// higher delete ratio").
+	DeleteFactor float64
+}
+
+type envelope struct {
+	rec         storage.Record
+	committedAt time.Duration
+}
+
+// Stream replicates one RW node's committed records into one replica.
+type Stream struct {
+	s       *sim.Sim
+	cfg     Config
+	replica *node.Node
+
+	// OnApply, if set, runs after each data record applies (cache
+	// invalidation in the memory-disaggregated architecture).
+	OnApply func(rec storage.Record)
+
+	inbox     []envelope
+	inboxCond *sim.Cond
+	lanes     []*laneState
+	stopped   bool
+
+	appliedLSN storage.LSN
+	shipped    int64
+	applied    int64
+
+	lagInsert *meter.Reservoir
+	lagUpdate *meter.Reservoir
+	lagDelete *meter.Reservoir
+}
+
+type laneState struct {
+	queue []envelope
+	cond  *sim.Cond
+}
+
+// NewStream starts a replication stream feeding the given replica node.
+func NewStream(s *sim.Sim, cfg Config, replica *node.Node) *Stream {
+	if cfg.Lanes < 1 {
+		cfg.Lanes = 1
+	}
+	if cfg.DeleteFactor <= 0 {
+		cfg.DeleteFactor = 0.5
+	}
+	st := &Stream{
+		s:         s,
+		cfg:       cfg,
+		replica:   replica,
+		inboxCond: sim.NewCond(s),
+		lagInsert: meter.NewReservoir(),
+		lagUpdate: meter.NewReservoir(),
+		lagDelete: meter.NewReservoir(),
+	}
+	for i := 0; i < cfg.Lanes; i++ {
+		lane := &laneState{cond: sim.NewCond(s)}
+		st.lanes = append(st.lanes, lane)
+		laneID := i
+		s.Go(cfg.Name+"/replay", func(p *sim.Proc) { st.replayLoop(p, laneID) })
+	}
+	s.Go(cfg.Name+"/shipper", st.shipLoop)
+	return st
+}
+
+// Publish hands committed records to the stream (wired to node.OnCommit).
+func (st *Stream) Publish(p *sim.Proc, recs []storage.Record) {
+	if st.stopped {
+		return
+	}
+	now := st.s.Elapsed()
+	for _, rec := range recs {
+		st.inbox = append(st.inbox, envelope{rec: rec, committedAt: now})
+	}
+	st.inboxCond.Signal()
+}
+
+// Stop shuts the stream down after draining; background processes exit.
+func (st *Stream) Stop() {
+	st.stopped = true
+	st.inboxCond.Broadcast()
+	for _, l := range st.lanes {
+		l.cond.Broadcast()
+	}
+}
+
+func (st *Stream) shipLoop(p *sim.Proc) {
+	for {
+		for len(st.inbox) == 0 {
+			if st.stopped {
+				return
+			}
+			st.inboxCond.Wait(p)
+		}
+		if st.cfg.BatchInterval > 0 {
+			p.Sleep(st.cfg.BatchInterval)
+		}
+		batch := st.inbox
+		st.inbox = nil
+		bytes := 0
+		for i := range batch {
+			bytes += batch[i].rec.Size()
+		}
+		if st.cfg.Link != nil {
+			st.cfg.Link.Send(p, bytes)
+		}
+		for _, hop := range st.cfg.ExtraHops {
+			p.Sleep(hop)
+		}
+		st.shipped += int64(len(batch))
+		for _, env := range batch {
+			lane := st.lanes[int(env.rec.Page.Num)%len(st.lanes)]
+			lane.queue = append(lane.queue, env)
+			lane.cond.Signal()
+		}
+	}
+}
+
+func (st *Stream) replayLoop(p *sim.Proc, laneID int) {
+	lane := st.lanes[laneID]
+	for {
+		for len(lane.queue) == 0 {
+			if st.stopped {
+				return
+			}
+			lane.cond.Wait(p)
+		}
+		env := lane.queue[0]
+		lane.queue = lane.queue[1:]
+		// A down replica buffers the backlog; replay resumes (and catches
+		// up) once the node restarts, extending recovery realistically.
+		for st.replica.State() == node.Down {
+			p.Sleep(100 * time.Millisecond)
+		}
+		cost := st.cfg.PerRecord
+		switch env.rec.Type {
+		case storage.RecDelete:
+			cost = time.Duration(float64(cost) * st.cfg.DeleteFactor)
+		case storage.RecInsert, storage.RecUpdate:
+		default:
+			cost = 0 // commit/begin markers replay for free
+		}
+		if cost > 0 {
+			p.Sleep(cost)
+		}
+		if err := st.replica.DB.Apply(env.rec); err != nil {
+			panic("replication: " + err.Error())
+		}
+		st.applied++
+		if env.rec.LSN > st.appliedLSN {
+			st.appliedLSN = env.rec.LSN
+		}
+		lag := st.s.Elapsed() - env.committedAt
+		switch env.rec.Type {
+		case storage.RecInsert:
+			st.lagInsert.Add(lag)
+		case storage.RecUpdate:
+			st.lagUpdate.Add(lag)
+		case storage.RecDelete:
+			st.lagDelete.Add(lag)
+		}
+		if st.OnApply != nil && env.rec.Type != storage.RecCommit {
+			st.OnApply(env.rec)
+		}
+	}
+}
+
+// AppliedLSN returns the highest LSN applied so far (approximate across
+// parallel lanes).
+func (st *Stream) AppliedLSN() storage.LSN { return st.appliedLSN }
+
+// Counts returns shipped and applied record counts.
+func (st *Stream) Counts() (shipped, applied int64) { return st.shipped, st.applied }
+
+// Backlog returns records shipped but not yet applied plus records waiting
+// to ship.
+func (st *Stream) Backlog() int {
+	n := len(st.inbox)
+	for _, l := range st.lanes {
+		n += len(l.queue)
+	}
+	return n
+}
+
+// LagReservoirs returns the per-DML lag reservoirs (insert, update, delete).
+func (st *Stream) LagReservoirs() (ins, upd, del *meter.Reservoir) {
+	return st.lagInsert, st.lagUpdate, st.lagDelete
+}
+
+// MeanLag returns the mean replication lag for the given record type, or
+// the overall mean across DML types when typ is zero.
+func (st *Stream) MeanLag(typ storage.RecType) time.Duration {
+	switch typ {
+	case storage.RecInsert:
+		return st.lagInsert.Mean()
+	case storage.RecUpdate:
+		return st.lagUpdate.Mean()
+	case storage.RecDelete:
+		return st.lagDelete.Mean()
+	}
+	total := time.Duration(0)
+	n := 0
+	for _, r := range []*meter.Reservoir{st.lagInsert, st.lagUpdate, st.lagDelete} {
+		if r.Count() > 0 {
+			total += r.Mean()
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / time.Duration(n)
+}

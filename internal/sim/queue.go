@@ -1,0 +1,103 @@
+package sim
+
+import "time"
+
+// Queue models a single FIFO service channel with a fixed service rate —
+// the canonical model for an IOPS-limited storage volume or a bandwidth-
+// limited link. Each Wait(ops) occupies the channel for ops/rate of virtual
+// time; concurrent callers queue behind one another, so saturation produces
+// honest queueing delay rather than silent over-subscription.
+type Queue struct {
+	s        *Sim
+	perOp    time.Duration // service time of one operation
+	nextFree time.Duration // virtual time the channel next becomes idle
+	served   int64
+	busy     time.Duration // total busy time, for utilization metering
+}
+
+// NewQueue returns a FIFO service channel with the given rate in
+// operations per second. A rate of zero means unlimited (Wait is free).
+func NewQueue(s *Sim, opsPerSecond float64) *Queue {
+	q := &Queue{s: s}
+	q.setRate(opsPerSecond)
+	return q
+}
+
+func (q *Queue) setRate(opsPerSecond float64) {
+	if opsPerSecond <= 0 {
+		q.perOp = 0
+		return
+	}
+	q.perOp = time.Duration(float64(time.Second) / opsPerSecond)
+}
+
+// SetRate changes the service rate. In-flight waits keep their old service
+// completion; subsequent waits use the new rate.
+func (q *Queue) SetRate(opsPerSecond float64) {
+	q.s.mu.Lock()
+	q.setRate(opsPerSecond)
+	q.s.mu.Unlock()
+}
+
+// Wait enqueues ops operations and blocks the process until they are
+// serviced. It returns the queueing + service delay experienced.
+func (q *Queue) Wait(p *Proc, ops int) time.Duration {
+	delay := q.Reserve(ops)
+	if delay > 0 {
+		p.Sleep(delay)
+	}
+	return delay
+}
+
+// Reserve books ops operations on the channel and returns the delay until
+// they complete, without sleeping. Callers combine the returned delay with
+// other latencies into a single sleep to reduce scheduling overhead; the
+// channel accounting is identical to Wait.
+func (q *Queue) Reserve(ops int) time.Duration {
+	if ops <= 0 {
+		return 0
+	}
+	s := q.s
+	s.mu.Lock()
+	q.served += int64(ops)
+	if q.perOp == 0 {
+		s.mu.Unlock()
+		return 0
+	}
+	service := time.Duration(ops) * q.perOp
+	start := s.now
+	if q.nextFree > start {
+		start = q.nextFree
+	}
+	done := start + service
+	q.nextFree = done
+	q.busy += service
+	delay := done - s.now
+	s.mu.Unlock()
+	return delay
+}
+
+// Served returns the total operations serviced so far.
+func (q *Queue) Served() int64 {
+	q.s.mu.Lock()
+	defer q.s.mu.Unlock()
+	return q.served
+}
+
+// BusyTime returns the cumulative virtual time the channel has been busy.
+func (q *Queue) BusyTime() time.Duration {
+	q.s.mu.Lock()
+	defer q.s.mu.Unlock()
+	return q.busy
+}
+
+// Backlog returns how far in the future the channel is booked, i.e. the
+// delay a zero-length arrival would currently experience.
+func (q *Queue) Backlog() time.Duration {
+	q.s.mu.Lock()
+	defer q.s.mu.Unlock()
+	if q.nextFree <= q.s.now {
+		return 0
+	}
+	return q.nextFree - q.s.now
+}

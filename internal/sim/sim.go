@@ -1,0 +1,225 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// A simulation consists of processes (goroutines spawned with Sim.Go) that
+// advance a shared virtual clock by sleeping (Proc.Sleep) and by blocking on
+// sim-aware synchronization primitives (Mutex, Cond, Resource, Queue). The
+// kernel enforces a single-runnable invariant: at most one process executes
+// between scheduler dispatches. Consequently process code needs no locking of
+// its own — processes can never observe each other mid-step — and a given
+// simulation program produces an identical event order on every run.
+//
+// Virtual time bears no relation to wall-clock time: a simulated hour costs
+// only the CPU time of the events inside it. All CloudyBench evaluators run
+// on this kernel so that minute-granularity cloud experiments finish in
+// milliseconds and remain reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Sim is a discrete-event simulation instance. Create one with New, spawn
+// processes with Go, then call Run from the host goroutine to execute the
+// simulation to completion.
+type Sim struct {
+	mu       sync.Mutex
+	termCond *sync.Cond // signaled when procs hits zero or a deadlock is found
+
+	start   time.Time     // virtual epoch
+	now     time.Duration // virtual time since start
+	events  eventHeap
+	seq     uint64 // dispatch tiebreaker for determinism
+	running int    // processes currently executing (0 or 1 in steady state)
+	procs   int    // live (not yet exited) processes
+	blocked map[*Proc]string
+	err     error
+}
+
+// Proc is a simulation process handle. Every blocking kernel operation takes
+// the calling process so the scheduler knows who is giving up the baton.
+type Proc struct {
+	sim  *Sim
+	name string
+	wake chan struct{}
+}
+
+// Name returns the process name given to Sim.Go.
+func (p *Proc) Name() string { return p.name }
+
+// Sim returns the simulation this process belongs to.
+func (p *Proc) Sim() *Sim { return p.sim }
+
+type event struct {
+	at  time.Duration
+	seq uint64
+	p   *Proc
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// New returns a simulation whose virtual clock starts at the given epoch.
+func New(start time.Time) *Sim {
+	s := &Sim{start: start, blocked: make(map[*Proc]string)}
+	s.termCond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Now returns the current virtual time. It may be called from inside or
+// outside the simulation.
+func (s *Sim) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.start.Add(s.now)
+}
+
+// Elapsed returns the virtual time elapsed since the simulation epoch.
+func (s *Sim) Elapsed() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// Go spawns a new simulation process. The process begins executing at the
+// current virtual time, after the spawning process next blocks (or, for
+// processes spawned before Run, when Run starts). It is safe to call Go from
+// inside another process or from the host goroutine before Run.
+func (s *Sim) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{sim: s, name: name, wake: make(chan struct{}, 1)}
+	s.mu.Lock()
+	s.procs++
+	s.pushLocked(s.now, p)
+	s.blocked[p] = "start"
+	s.mu.Unlock()
+	go func() {
+		<-p.wake
+		defer s.exit(p)
+		fn(p)
+	}()
+	return p
+}
+
+func (s *Sim) pushLocked(at time.Duration, p *Proc) {
+	s.seq++
+	heap.Push(&s.events, event{at: at, seq: s.seq, p: p})
+}
+
+// blockLocked records the caller as blocked and hands the baton to the next
+// event if no process remains runnable. The caller must hold s.mu, release it
+// after this returns, and then receive on p.wake.
+func (s *Sim) blockLocked(p *Proc, why string) {
+	s.running--
+	s.blocked[p] = why
+	if s.running == 0 {
+		s.dispatchLocked()
+	}
+}
+
+// wakeLocked schedules p to resume at the current virtual time. The caller
+// must hold s.mu. The woken process runs once the current process blocks.
+func (s *Sim) wakeLocked(p *Proc) {
+	s.pushLocked(s.now, p)
+}
+
+func (s *Sim) dispatchLocked() {
+	if s.events.Len() == 0 {
+		if s.procs > 0 {
+			s.err = s.deadlockErrorLocked()
+			s.termCond.Broadcast()
+		}
+		return
+	}
+	ev := heap.Pop(&s.events).(event)
+	if ev.at < s.now {
+		panic(fmt.Sprintf("sim: time went backwards: %v -> %v", s.now, ev.at))
+	}
+	s.now = ev.at
+	s.running++
+	delete(s.blocked, ev.p)
+	ev.p.wake <- struct{}{}
+}
+
+func (s *Sim) deadlockErrorLocked() error {
+	names := make([]string, 0, len(s.blocked))
+	for p, why := range s.blocked {
+		names = append(names, fmt.Sprintf("%s (%s)", p.name, why))
+	}
+	sort.Strings(names)
+	return fmt.Errorf("sim: deadlock at t=%v: %d process(es) blocked with no pending events: %s",
+		s.now, len(names), strings.Join(names, ", "))
+}
+
+func (s *Sim) exit(p *Proc) {
+	s.mu.Lock()
+	s.procs--
+	s.running--
+	if s.running == 0 {
+		s.dispatchLocked()
+	}
+	if s.procs == 0 {
+		s.termCond.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+// Run executes the simulation until every process has exited. It must be
+// called from the host goroutine (not from inside a process). It returns a
+// deadlock error if all remaining processes are blocked with no pending
+// events; otherwise nil.
+func (s *Sim) Run() error {
+	s.mu.Lock()
+	if s.running == 0 && s.procs > 0 {
+		s.dispatchLocked()
+	}
+	for s.procs > 0 && s.err == nil {
+		s.termCond.Wait()
+	}
+	err := s.err
+	s.mu.Unlock()
+	return err
+}
+
+// Sleep suspends the calling process for d of virtual time. Negative
+// durations sleep zero time (yielding to other runnable processes).
+func (p *Proc) Sleep(d time.Duration) {
+	s := p.sim
+	if d < 0 {
+		d = 0
+	}
+	s.mu.Lock()
+	s.pushLocked(s.now+d, p)
+	s.blockLocked(p, "sleep")
+	s.mu.Unlock()
+	<-p.wake
+}
+
+// Yield lets any other runnable process scheduled at the current virtual
+// time execute before the caller continues.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Now returns the current virtual time (convenience for p.Sim().Now()).
+func (p *Proc) Now() time.Time { return p.sim.Now() }
+
+// Elapsed returns virtual time since the simulation epoch.
+func (p *Proc) Elapsed() time.Duration { return p.sim.Elapsed() }

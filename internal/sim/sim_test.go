@@ -1,0 +1,460 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestSingleProcessSleepAdvancesClock(t *testing.T) {
+	s := New(epoch)
+	var at time.Duration
+	s.Go("p", func(p *Proc) {
+		p.Sleep(3 * time.Second)
+		at = p.Elapsed()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 3*time.Second {
+		t.Fatalf("elapsed = %v, want 3s", at)
+	}
+	if got := s.Now(); !got.Equal(epoch.Add(3 * time.Second)) {
+		t.Fatalf("Now() = %v, want epoch+3s", got)
+	}
+}
+
+func TestProcessesInterleaveInTimestampOrder(t *testing.T) {
+	s := New(epoch)
+	var order []string
+	record := func(name string) { order = append(order, name) }
+	s.Go("a", func(p *Proc) {
+		p.Sleep(2 * time.Second)
+		record("a@2")
+		p.Sleep(2 * time.Second)
+		record("a@4")
+	})
+	s.Go("b", func(p *Proc) {
+		p.Sleep(1 * time.Second)
+		record("b@1")
+		p.Sleep(2 * time.Second)
+		record("b@3")
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := "b@1 a@2 b@3 a@4"
+	if got := strings.Join(order, " "); got != want {
+		t.Fatalf("order = %q, want %q", got, want)
+	}
+}
+
+func TestSameTimestampFIFOBySpawnOrder(t *testing.T) {
+	s := New(epoch)
+	var order []string
+	for i := 0; i < 5; i++ {
+		i := i
+		s.Go(fmt.Sprintf("p%d", i), func(p *Proc) {
+			p.Sleep(time.Second)
+			order = append(order, p.Name())
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := "p0 p1 p2 p3 p4"
+	if got := strings.Join(order, " "); got != want {
+		t.Fatalf("order = %q, want %q", got, want)
+	}
+}
+
+func TestNegativeSleepIsYield(t *testing.T) {
+	s := New(epoch)
+	s.Go("p", func(p *Proc) {
+		p.Sleep(-time.Second)
+		if e := p.Elapsed(); e != 0 {
+			t.Errorf("elapsed after negative sleep = %v, want 0", e)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNestedSpawn(t *testing.T) {
+	s := New(epoch)
+	var childAt time.Duration
+	s.Go("parent", func(p *Proc) {
+		p.Sleep(5 * time.Second)
+		s.Go("child", func(c *Proc) {
+			c.Sleep(time.Second)
+			childAt = c.Elapsed()
+		})
+		p.Sleep(10 * time.Second)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if childAt != 6*time.Second {
+		t.Fatalf("child finished at %v, want 6s", childAt)
+	}
+}
+
+func TestRunWithNoProcessesReturns(t *testing.T) {
+	s := New(epoch)
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() string {
+		s := New(epoch)
+		var order []string
+		for i := 0; i < 10; i++ {
+			i := i
+			s.Go(fmt.Sprintf("w%d", i), func(p *Proc) {
+				for j := 0; j < 5; j++ {
+					p.Sleep(time.Duration(1+(i*7+j*3)%5) * time.Millisecond)
+					order = append(order, fmt.Sprintf("%d.%d@%v", i, j, p.Elapsed()))
+				}
+			})
+		}
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return strings.Join(order, ";")
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("two identical runs diverged:\n%s\n%s", a, b)
+	}
+}
+
+func TestMutexProvidesExclusionAndFIFO(t *testing.T) {
+	s := New(epoch)
+	m := NewMutex(s)
+	var order []string
+	inside := false
+	for i := 0; i < 4; i++ {
+		i := i
+		s.Go(fmt.Sprintf("w%d", i), func(p *Proc) {
+			p.Sleep(time.Duration(i) * time.Millisecond) // stagger arrivals
+			m.Lock(p)
+			if inside {
+				t.Error("two processes inside critical section")
+			}
+			inside = true
+			p.Sleep(10 * time.Millisecond) // hold across virtual time
+			inside = false
+			order = append(order, p.Name())
+			m.Unlock(p)
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(order, " "); got != "w0 w1 w2 w3" {
+		t.Fatalf("order = %q, want FIFO w0..w3", got)
+	}
+}
+
+func TestMutexRecursiveLockPanics(t *testing.T) {
+	s := New(epoch)
+	m := NewMutex(s)
+	s.Go("p", func(p *Proc) {
+		m.Lock(p)
+		defer func() {
+			if recover() == nil {
+				t.Error("recursive lock did not panic")
+			}
+			m.Unlock(p)
+		}()
+		m.Lock(p)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMutexUnlockByNonOwnerPanics(t *testing.T) {
+	s := New(epoch)
+	m := NewMutex(s)
+	s.Go("owner", func(p *Proc) {
+		m.Lock(p)
+		p.Sleep(time.Second)
+		m.Unlock(p)
+	})
+	s.Go("thief", func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("unlock by non-owner did not panic")
+			}
+		}()
+		m.Unlock(p)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCondSignalWakesOldestWaiter(t *testing.T) {
+	s := New(epoch)
+	c := NewCond(s)
+	var woken []string
+	for i := 0; i < 3; i++ {
+		i := i
+		s.Go(fmt.Sprintf("w%d", i), func(p *Proc) {
+			p.Sleep(time.Duration(i) * time.Millisecond)
+			c.Wait(p)
+			woken = append(woken, p.Name())
+		})
+	}
+	s.Go("signaller", func(p *Proc) {
+		p.Sleep(10 * time.Millisecond)
+		c.Signal()
+		p.Sleep(10 * time.Millisecond)
+		c.Broadcast()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(woken, " "); got != "w0 w1 w2" {
+		t.Fatalf("wake order = %q, want w0 w1 w2", got)
+	}
+}
+
+func TestGroupWaitsForAll(t *testing.T) {
+	s := New(epoch)
+	g := NewGroup(s)
+	var doneAt time.Duration
+	for i := 1; i <= 3; i++ {
+		i := i
+		g.Go(fmt.Sprintf("w%d", i), func(p *Proc) {
+			p.Sleep(time.Duration(i) * time.Second)
+		})
+	}
+	s.Go("waiter", func(p *Proc) {
+		g.Wait(p)
+		doneAt = p.Elapsed()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if doneAt != 3*time.Second {
+		t.Fatalf("group completed at %v, want 3s", doneAt)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	s := New(epoch)
+	c := NewCond(s)
+	s.Go("stuck", func(p *Proc) {
+		c.Wait(p) // nobody will ever signal
+	})
+	err := s.Run()
+	if err == nil {
+		t.Fatal("expected deadlock error")
+	}
+	if !strings.Contains(err.Error(), "stuck") {
+		t.Fatalf("deadlock error %q does not name the stuck process", err)
+	}
+}
+
+func TestResourceLimitsConcurrency(t *testing.T) {
+	s := New(epoch)
+	r := NewResource(s, 2)
+	var maxInside, inside int
+	for i := 0; i < 6; i++ {
+		s.Go(fmt.Sprintf("w%d", i), func(p *Proc) {
+			r.Acquire(p, 1)
+			inside++
+			if inside > maxInside {
+				maxInside = inside
+			}
+			p.Sleep(time.Second)
+			inside--
+			r.Release(1)
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if maxInside != 2 {
+		t.Fatalf("max concurrent holders = %d, want 2", maxInside)
+	}
+	// 6 holders, 2 at a time, 1s each => 3s total.
+	if got := s.Elapsed(); got != 3*time.Second {
+		t.Fatalf("makespan = %v, want 3s", got)
+	}
+}
+
+func TestResourceSetCapacityAdmitsWaiters(t *testing.T) {
+	s := New(epoch)
+	r := NewResource(s, 1)
+	var secondStarted time.Duration
+	s.Go("first", func(p *Proc) {
+		r.Acquire(p, 1)
+		p.Sleep(10 * time.Second)
+		r.Release(1)
+	})
+	s.Go("second", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		r.Acquire(p, 1)
+		secondStarted = p.Elapsed()
+		r.Release(1)
+	})
+	s.Go("scaler", func(p *Proc) {
+		p.Sleep(2 * time.Second)
+		r.SetCapacity(2)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if secondStarted != 2*time.Second {
+		t.Fatalf("second admitted at %v, want 2s (on capacity raise)", secondStarted)
+	}
+}
+
+func TestResourceCapacityDecreaseDrains(t *testing.T) {
+	s := New(epoch)
+	r := NewResource(s, 4)
+	s.Go("holder", func(p *Proc) {
+		r.Acquire(p, 4)
+		r.SetCapacity(1) // shrink below usage while held
+		if r.Used() != 4 {
+			t.Errorf("used = %d, want 4 while still held", r.Used())
+		}
+		p.Sleep(time.Second)
+		r.Release(4)
+	})
+	s.Go("late", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		r.Acquire(p, 1) // must wait for drain
+		if e := p.Elapsed(); e != time.Second {
+			t.Errorf("late admitted at %v, want 1s", e)
+		}
+		r.Release(1)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResourcePeakTracking(t *testing.T) {
+	s := New(epoch)
+	r := NewResource(s, 10)
+	s.Go("p", func(p *Proc) {
+		r.Acquire(p, 3)
+		r.Acquire(p, 4)
+		r.Release(4)
+		r.Release(3)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Peak() != 7 {
+		t.Fatalf("peak = %d, want 7", r.Peak())
+	}
+	r.ResetPeak()
+	if r.Peak() != 0 {
+		t.Fatalf("peak after reset = %d, want 0", r.Peak())
+	}
+}
+
+func TestResourceTryAcquire(t *testing.T) {
+	s := New(epoch)
+	r := NewResource(s, 2)
+	s.Go("p", func(p *Proc) {
+		if !r.TryAcquire(2) {
+			t.Error("TryAcquire(2) on empty pool failed")
+		}
+		if r.TryAcquire(1) {
+			t.Error("TryAcquire(1) on full pool succeeded")
+		}
+		r.Release(2)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueServiceAndBacklog(t *testing.T) {
+	s := New(epoch)
+	q := NewQueue(s, 10) // 10 ops/sec => 100ms per op
+	var d1, d2 time.Duration
+	s.Go("a", func(p *Proc) {
+		d1 = q.Wait(p, 1)
+	})
+	s.Go("b", func(p *Proc) {
+		d2 = q.Wait(p, 1)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if d1 != 100*time.Millisecond {
+		t.Fatalf("first delay = %v, want 100ms", d1)
+	}
+	if d2 != 200*time.Millisecond {
+		t.Fatalf("queued delay = %v, want 200ms", d2)
+	}
+	if q.Served() != 2 {
+		t.Fatalf("served = %d, want 2", q.Served())
+	}
+}
+
+func TestQueueUnlimitedRateIsFree(t *testing.T) {
+	s := New(epoch)
+	q := NewQueue(s, 0)
+	s.Go("p", func(p *Proc) {
+		if d := q.Wait(p, 1000); d != 0 {
+			t.Errorf("unlimited queue delay = %v, want 0", d)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueIdleGapDoesNotAccumulateCredit(t *testing.T) {
+	s := New(epoch)
+	q := NewQueue(s, 10)
+	s.Go("p", func(p *Proc) {
+		q.Wait(p, 1)
+		p.Sleep(5 * time.Second) // long idle gap
+		if b := q.Backlog(); b != 0 {
+			t.Errorf("backlog after idle = %v, want 0", b)
+		}
+		d := q.Wait(p, 1)
+		if d != 100*time.Millisecond {
+			t.Errorf("post-idle delay = %v, want 100ms", d)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManyProcessesStress(t *testing.T) {
+	s := New(epoch)
+	r := NewResource(s, 8)
+	total := 0
+	for i := 0; i < 200; i++ {
+		i := i
+		s.Go(fmt.Sprintf("w%d", i), func(p *Proc) {
+			for j := 0; j < 20; j++ {
+				r.Use(p, 1, time.Duration(1+(i+j)%3)*time.Millisecond)
+				total++
+			}
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if total != 4000 {
+		t.Fatalf("completed = %d, want 4000", total)
+	}
+}

@@ -1,0 +1,334 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Mutex is a simulation-aware mutual-exclusion lock. Unlike sync.Mutex it
+// suspends the blocked process in virtual time, handing the scheduler baton
+// onward, so it is safe to hold across Proc.Sleep. Waiters are served FIFO.
+type Mutex struct {
+	s       *Sim
+	owner   *Proc
+	waiters []*Proc
+}
+
+// NewMutex returns a mutex bound to the given simulation.
+func NewMutex(s *Sim) *Mutex { return &Mutex{s: s} }
+
+// Lock acquires the mutex, blocking the process in virtual time if needed.
+func (m *Mutex) Lock(p *Proc) {
+	s := m.s
+	s.mu.Lock()
+	if m.owner == nil {
+		m.owner = p
+		s.mu.Unlock()
+		return
+	}
+	if m.owner == p {
+		s.mu.Unlock()
+		panic("sim: recursive Mutex.Lock by " + p.name)
+	}
+	m.waiters = append(m.waiters, p)
+	s.blockLocked(p, "mutex")
+	s.mu.Unlock()
+	<-p.wake
+}
+
+// Unlock releases the mutex, transferring ownership to the oldest waiter.
+func (m *Mutex) Unlock(p *Proc) {
+	s := m.s
+	s.mu.Lock()
+	if m.owner != p {
+		s.mu.Unlock()
+		panic("sim: Mutex.Unlock by non-owner " + p.name)
+	}
+	if len(m.waiters) == 0 {
+		m.owner = nil
+	} else {
+		next := m.waiters[0]
+		m.waiters = m.waiters[1:]
+		m.owner = next
+		s.wakeLocked(next)
+	}
+	s.mu.Unlock()
+}
+
+// Cond is a simulation-aware condition variable. Because the kernel enforces
+// the single-runnable invariant, no companion mutex is required: a process
+// checks its predicate, calls Wait if unsatisfied, and re-checks on wakeup.
+type Cond struct {
+	s       *Sim
+	waiters []*Proc
+}
+
+// NewCond returns a condition variable bound to the given simulation.
+func NewCond(s *Sim) *Cond { return &Cond{s: s} }
+
+// Wait suspends the process until Signal or Broadcast wakes it. Callers must
+// re-check their predicate in a loop, as with sync.Cond.
+func (c *Cond) Wait(p *Proc) {
+	s := c.s
+	s.mu.Lock()
+	c.waiters = append(c.waiters, p)
+	s.blockLocked(p, "cond")
+	s.mu.Unlock()
+	<-p.wake
+}
+
+// Signal wakes the oldest waiting process, if any.
+func (c *Cond) Signal() {
+	s := c.s
+	s.mu.Lock()
+	if len(c.waiters) > 0 {
+		next := c.waiters[0]
+		c.waiters = c.waiters[1:]
+		s.wakeLocked(next)
+	}
+	s.mu.Unlock()
+}
+
+// Broadcast wakes every waiting process.
+func (c *Cond) Broadcast() {
+	s := c.s
+	s.mu.Lock()
+	for _, w := range c.waiters {
+		s.wakeLocked(w)
+	}
+	c.waiters = nil
+	s.mu.Unlock()
+}
+
+// Group waits for a collection of processes to finish, mirroring
+// sync.WaitGroup in virtual time.
+type Group struct {
+	s     *Sim
+	count int
+	cond  *Cond
+}
+
+// NewGroup returns a wait group bound to the given simulation.
+func NewGroup(s *Sim) *Group { return &Group{s: s, cond: NewCond(s)} }
+
+// Add increments the group counter by n.
+func (g *Group) Add(n int) {
+	g.s.mu.Lock()
+	g.count += n
+	g.s.mu.Unlock()
+}
+
+// Done decrements the group counter, waking waiters when it reaches zero.
+func (g *Group) Done() {
+	g.s.mu.Lock()
+	g.count--
+	neg := g.count < 0
+	zero := g.count == 0
+	g.s.mu.Unlock()
+	if neg {
+		panic("sim: Group counter went negative")
+	}
+	if zero {
+		g.cond.Broadcast()
+	}
+}
+
+// Wait blocks the process until the group counter reaches zero.
+func (g *Group) Wait(p *Proc) {
+	for {
+		g.s.mu.Lock()
+		done := g.count == 0
+		g.s.mu.Unlock()
+		if done {
+			return
+		}
+		g.cond.Wait(p)
+	}
+}
+
+// Go spawns fn as a process tracked by the group.
+func (g *Group) Go(name string, fn func(p *Proc)) {
+	g.Add(1)
+	g.s.Go(name, func(p *Proc) {
+		defer g.Done()
+		fn(p)
+	})
+}
+
+// Resource models a preemptible pool of capacity units (for example milli-
+// vCores of a database node). Processes acquire an amount, hold it across
+// virtual time, and release it. Capacity can be resized at runtime, which is
+// how autoscalers act on a live node: raising capacity admits queued work
+// immediately, lowering it drains as holders release. Waiters are served
+// FIFO; a large request at the head blocks smaller ones behind it (fairness
+// over throughput, as in a real admission queue).
+type Resource struct {
+	s       *Sim
+	cap     int64
+	used    int64
+	waiters []resWaiter
+	peak    int64 // high-water mark of used since last ResetPeak
+
+	lastAccrue time.Duration
+	usedInt    float64 // integral of used over time, in unit-seconds
+	capInt     float64 // integral of capacity over time, in unit-seconds
+}
+
+type resWaiter struct {
+	p *Proc
+	n int64
+}
+
+// NewResource returns a resource pool with the given capacity in abstract
+// units (callers choose the unit, e.g. milli-vCores).
+func NewResource(s *Sim, capacity int64) *Resource {
+	if capacity < 0 {
+		panic("sim: negative Resource capacity")
+	}
+	return &Resource{s: s, cap: capacity}
+}
+
+// Acquire blocks the process until n units are available, then claims them.
+func (r *Resource) Acquire(p *Proc, n int64) {
+	if n <= 0 {
+		panic(fmt.Sprintf("sim: Resource.Acquire of %d units", n))
+	}
+	s := r.s
+	s.mu.Lock()
+	if len(r.waiters) == 0 && r.used+n <= r.cap {
+		r.accrueLocked()
+		r.used += n
+		if r.used > r.peak {
+			r.peak = r.used
+		}
+		s.mu.Unlock()
+		return
+	}
+	r.waiters = append(r.waiters, resWaiter{p: p, n: n})
+	s.blockLocked(p, "resource")
+	s.mu.Unlock()
+	<-p.wake
+}
+
+// TryAcquire claims n units without blocking, reporting whether it succeeded.
+func (r *Resource) TryAcquire(n int64) bool {
+	s := r.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(r.waiters) == 0 && r.used+n <= r.cap {
+		r.accrueLocked()
+		r.used += n
+		if r.used > r.peak {
+			r.peak = r.used
+		}
+		return true
+	}
+	return false
+}
+
+// Release returns n units to the pool and admits eligible waiters.
+func (r *Resource) Release(n int64) {
+	s := r.s
+	s.mu.Lock()
+	r.accrueLocked()
+	r.used -= n
+	if r.used < 0 {
+		s.mu.Unlock()
+		panic("sim: Resource over-released")
+	}
+	r.admitLocked()
+	s.mu.Unlock()
+}
+
+// SetCapacity resizes the pool. Increases admit queued waiters immediately;
+// decreases take effect as current holders release (capacity may be below
+// usage transiently, exactly like scaling down a busy node).
+func (r *Resource) SetCapacity(capacity int64) {
+	if capacity < 0 {
+		panic("sim: negative Resource capacity")
+	}
+	s := r.s
+	s.mu.Lock()
+	r.accrueLocked()
+	r.cap = capacity
+	r.admitLocked()
+	s.mu.Unlock()
+}
+
+// accrueLocked folds elapsed time into the usage and capacity integrals.
+// It must be called, with s.mu held, before any change to used or cap.
+func (r *Resource) accrueLocked() {
+	dt := r.s.now - r.lastAccrue
+	if dt > 0 {
+		sec := dt.Seconds()
+		r.usedInt += float64(r.used) * sec
+		r.capInt += float64(r.cap) * sec
+		r.lastAccrue = r.s.now
+	}
+}
+
+// Integrals returns the cumulative usage and capacity integrals in
+// unit-seconds up to the current virtual time. Callers snapshot these at
+// window boundaries and diff to obtain per-window resource consumption.
+func (r *Resource) Integrals() (usedUnitSeconds, capUnitSeconds float64) {
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
+	r.accrueLocked()
+	return r.usedInt, r.capInt
+}
+
+func (r *Resource) admitLocked() {
+	r.accrueLocked()
+	for len(r.waiters) > 0 && r.used+r.waiters[0].n <= r.cap {
+		w := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		r.used += w.n
+		if r.used > r.peak {
+			r.peak = r.used
+		}
+		r.s.wakeLocked(w.p)
+	}
+}
+
+// Capacity returns the current capacity.
+func (r *Resource) Capacity() int64 {
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
+	return r.cap
+}
+
+// Used returns the units currently held.
+func (r *Resource) Used() int64 {
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
+	return r.used
+}
+
+// Peak returns the high-water mark of held units since the last ResetPeak.
+func (r *Resource) Peak() int64 {
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
+	return r.peak
+}
+
+// ResetPeak clears the high-water mark down to current usage.
+func (r *Resource) ResetPeak() {
+	r.s.mu.Lock()
+	r.peak = r.used
+	r.s.mu.Unlock()
+}
+
+// Waiting returns the number of queued acquirers.
+func (r *Resource) Waiting() int {
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
+	return len(r.waiters)
+}
+
+// Use acquires n units, holds them for d of virtual time, and releases them.
+// It is the standard way to model a CPU slice or similar occupancy.
+func (r *Resource) Use(p *Proc, n int64, d time.Duration) {
+	r.Acquire(p, n)
+	p.Sleep(d)
+	r.Release(n)
+}

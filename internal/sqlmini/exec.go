@@ -1,0 +1,248 @@
+package sqlmini
+
+import (
+	"errors"
+	"fmt"
+
+	"cloudybench/internal/engine"
+)
+
+// Execer is the transactional surface a prepared statement executes
+// against. node.Tx implements it, so SQL execution pays the same CPU,
+// buffer, and I/O costs as the native workload path; engine-level adapters
+// work too for pure-logic tests.
+type Execer interface {
+	Get(tbl *engine.Table, k engine.Key) (engine.Row, error)
+	Insert(tbl *engine.Table, row engine.Row) error
+	Update(tbl *engine.Table, k engine.Key, row engine.Row) error
+	Delete(tbl *engine.Table, k engine.Key) error
+}
+
+// Result is a statement outcome: projected rows for SELECT, affected row
+// count for DML.
+type Result struct {
+	Cols     []string
+	Rows     []engine.Row
+	Affected int
+	// AutoID is the auto-increment id assigned by an INSERT ... DEFAULT.
+	AutoID int64
+}
+
+// ErrArgCount reports a placeholder/argument mismatch.
+var ErrArgCount = errors.New("sqlmini: wrong number of arguments")
+
+func (e *expr) value(args []engine.Value) (engine.Value, error) {
+	switch e.kind {
+	case exprPlaceholder:
+		return args[e.argIdx], nil
+	case exprLiteral:
+		return e.lit, nil
+	default:
+		return engine.Value{}, fmt.Errorf("sqlmini: expression has no direct value")
+	}
+}
+
+// coerce adapts a value to the column kind where lossless (int -> float).
+func coerce(v engine.Value, kind engine.Kind) engine.Value {
+	if v.Kind == engine.KindInt && kind == engine.KindFloat {
+		return engine.Float(float64(v.I))
+	}
+	return v
+}
+
+// Exec runs the statement with the given placeholder arguments.
+func (s *Stmt) Exec(ex Execer, args ...engine.Value) (Result, error) {
+	if len(args) != s.NumArgs {
+		return Result{}, fmt.Errorf("%w: statement %q needs %d, got %d", ErrArgCount, s.SQL, s.NumArgs, len(args))
+	}
+	switch s.Kind {
+	case StmtSelect:
+		return s.execSelect(ex, args)
+	case StmtInsert:
+		return s.execInsert(ex, args)
+	case StmtUpdate:
+		return s.execUpdate(ex, args)
+	case StmtDelete:
+		return s.execDelete(ex, args)
+	}
+	return Result{}, fmt.Errorf("sqlmini: unknown statement kind %d", s.Kind)
+}
+
+func (s *Stmt) whereKey(args []engine.Value) (engine.Key, error) {
+	v, err := s.whereExpr.value(args)
+	if err != nil {
+		return nil, err
+	}
+	return engine.EncodeKey(v), nil
+}
+
+func (s *Stmt) execSelect(ex Execer, args []engine.Value) (Result, error) {
+	key, err := s.whereKey(args)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Cols: s.projectedCols()}
+	row, err := ex.Get(s.table, key)
+	if errors.Is(err, engine.ErrRowNotFound) {
+		return res, nil
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	if s.selectCols == nil {
+		res.Rows = []engine.Row{row.Clone()}
+	} else {
+		out := make(engine.Row, len(s.selectCols))
+		for i, ci := range s.selectCols {
+			out[i] = row[ci]
+		}
+		res.Rows = []engine.Row{out}
+	}
+	return res, nil
+}
+
+func (s *Stmt) projectedCols() []string {
+	schema := s.table.Schema
+	if s.selectCols == nil {
+		out := make([]string, len(schema.Cols))
+		for i, c := range schema.Cols {
+			out[i] = c.Name
+		}
+		return out
+	}
+	out := make([]string, len(s.selectCols))
+	for i, ci := range s.selectCols {
+		out[i] = schema.Cols[ci].Name
+	}
+	return out
+}
+
+func (s *Stmt) execInsert(ex Execer, args []engine.Value) (Result, error) {
+	schema := s.table.Schema
+	row := make(engine.Row, len(schema.Cols))
+	var autoID int64
+	for i, e := range s.insertExprs {
+		if e.kind == exprDefault {
+			autoID = s.table.NextAutoID()
+			row[i] = engine.Int(autoID)
+			continue
+		}
+		v, err := e.value(args)
+		if err != nil {
+			return Result{}, err
+		}
+		row[i] = coerce(v, schema.Cols[i].Kind)
+	}
+	if err := ex.Insert(s.table, row); err != nil {
+		return Result{}, err
+	}
+	return Result{Affected: 1, AutoID: autoID}, nil
+}
+
+// ForUpdateExecer is implemented by executors that can take an exclusive
+// lock at read time; UPDATE uses it to avoid S->X upgrade deadlocks.
+type ForUpdateExecer interface {
+	GetForUpdate(tbl *engine.Table, k engine.Key) (engine.Row, error)
+}
+
+func (s *Stmt) execUpdate(ex Execer, args []engine.Value) (Result, error) {
+	key, err := s.whereKey(args)
+	if err != nil {
+		return Result{}, err
+	}
+	var row engine.Row
+	if fu, ok := ex.(ForUpdateExecer); ok {
+		row, err = fu.GetForUpdate(s.table, key)
+	} else {
+		row, err = ex.Get(s.table, key)
+	}
+	if errors.Is(err, engine.ErrRowNotFound) {
+		return Result{}, nil // UPDATE of a missing row affects 0 rows
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	upd := row.Clone()
+	schema := s.table.Schema
+	for i, ci := range s.setCols {
+		e := s.setExprs[i]
+		switch e.kind {
+		case exprSelfPlus:
+			add, err := e.addend.value(args)
+			if err != nil {
+				return Result{}, err
+			}
+			cur := upd[ci]
+			switch cur.Kind {
+			case engine.KindFloat:
+				inc := add.F
+				if add.Kind == engine.KindInt {
+					inc = float64(add.I)
+				}
+				upd[ci] = engine.Float(cur.F + inc)
+			case engine.KindInt:
+				if add.Kind != engine.KindInt {
+					return Result{}, fmt.Errorf("sqlmini: non-integer addend for integer column %s", schema.Cols[ci].Name)
+				}
+				upd[ci] = engine.Int(cur.I + add.I)
+			default:
+				return Result{}, fmt.Errorf("sqlmini: arithmetic on non-numeric column %s", schema.Cols[ci].Name)
+			}
+		default:
+			v, err := e.value(args)
+			if err != nil {
+				return Result{}, err
+			}
+			upd[ci] = coerce(v, schema.Cols[ci].Kind)
+		}
+	}
+	if err := ex.Update(s.table, key, upd); err != nil {
+		return Result{}, err
+	}
+	return Result{Affected: 1}, nil
+}
+
+func (s *Stmt) execDelete(ex Execer, args []engine.Value) (Result, error) {
+	key, err := s.whereKey(args)
+	if err != nil {
+		return Result{}, err
+	}
+	err = ex.Delete(s.table, key)
+	if errors.Is(err, engine.ErrRowNotFound) {
+		return Result{}, nil
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Affected: 1}, nil
+}
+
+// EngineExec adapts a bare engine transaction to the Execer interface for
+// resource-free execution (tests, tooling).
+type EngineExec struct {
+	Txn *engine.Txn
+}
+
+// Get implements Execer.
+func (e EngineExec) Get(tbl *engine.Table, k engine.Key) (engine.Row, error) {
+	row, _, err := e.Txn.Get(tbl, k)
+	return row, err
+}
+
+// Insert implements Execer.
+func (e EngineExec) Insert(tbl *engine.Table, row engine.Row) error {
+	_, err := e.Txn.Insert(tbl, row)
+	return err
+}
+
+// Update implements Execer.
+func (e EngineExec) Update(tbl *engine.Table, k engine.Key, row engine.Row) error {
+	_, err := e.Txn.Update(tbl, k, row)
+	return err
+}
+
+// Delete implements Execer.
+func (e EngineExec) Delete(tbl *engine.Table, k engine.Key) error {
+	_, err := e.Txn.Delete(tbl, k)
+	return err
+}

@@ -1,0 +1,434 @@
+package sqlmini
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"cloudybench/internal/engine"
+)
+
+// StmtKind is the statement class.
+type StmtKind int
+
+// Statement kinds.
+const (
+	StmtSelect StmtKind = iota + 1
+	StmtInsert
+	StmtUpdate
+	StmtDelete
+)
+
+func (k StmtKind) String() string {
+	switch k {
+	case StmtSelect:
+		return "SELECT"
+	case StmtInsert:
+		return "INSERT"
+	case StmtUpdate:
+		return "UPDATE"
+	case StmtDelete:
+		return "DELETE"
+	}
+	return "?"
+}
+
+type exprKind int
+
+const (
+	exprPlaceholder exprKind = iota + 1
+	exprLiteral
+	exprDefault
+	exprSelfPlus // col = col + <placeholder|literal>
+)
+
+type expr struct {
+	kind   exprKind
+	lit    engine.Value
+	argIdx int   // placeholder position, assigned left-to-right
+	addend *expr // for exprSelfPlus
+}
+
+// Stmt is a prepared statement bound to one database's table.
+type Stmt struct {
+	Kind  StmtKind
+	SQL   string
+	table *engine.Table
+
+	// SELECT
+	selectCols []int // projected column indexes; nil = *
+
+	// WHERE pk = <expr> (select/update/delete)
+	whereExpr *expr
+
+	// UPDATE SET
+	setCols  []int
+	setExprs []*expr
+
+	// INSERT values, one per schema column
+	insertExprs []*expr
+
+	// NumArgs is the number of '?' placeholders.
+	NumArgs int
+}
+
+type parser struct {
+	db   *engine.DB
+	toks []token
+	pos  int
+	args int
+	sql  string
+}
+
+// Prepare parses and binds sql against the database's catalog.
+func Prepare(db *engine.DB, sql string) (*Stmt, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{db: db, toks: toks, sql: sql}
+	st, err := p.parse()
+	if err != nil {
+		return nil, fmt.Errorf("sqlmini: %v in %q", err, sql)
+	}
+	st.SQL = sql
+	st.NumArgs = p.args
+	return st, nil
+}
+
+// MustPrepare is Prepare that panics on error (setup code).
+func MustPrepare(db *engine.DB, sql string) *Stmt {
+	st, err := Prepare(db, sql)
+	if err != nil {
+		panic(err)
+	}
+	return st
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) isKeyword(kw string) bool {
+	t := p.peek()
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.isKeyword(kw) {
+		return fmt.Errorf("expected %s, got %s", kw, p.peek())
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) isSymbol(sym string) bool {
+	t := p.peek()
+	return t.kind == tokSymbol && t.text == sym
+}
+
+func (p *parser) expectSymbol(sym string) error {
+	if !p.isSymbol(sym) {
+		return fmt.Errorf("expected %q, got %s", sym, p.peek())
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("expected identifier, got %s", t)
+	}
+	p.pos++
+	return t.text, nil
+}
+
+func (p *parser) parse() (*Stmt, error) {
+	switch {
+	case p.isKeyword("SELECT"):
+		return p.parseSelect()
+	case p.isKeyword("INSERT"):
+		return p.parseInsert()
+	case p.isKeyword("UPDATE"):
+		return p.parseUpdate()
+	case p.isKeyword("DELETE"):
+		return p.parseDelete()
+	default:
+		return nil, fmt.Errorf("expected SELECT/INSERT/UPDATE/DELETE, got %s", p.peek())
+	}
+}
+
+func (p *parser) resolveTable(name string) (*engine.Table, error) {
+	tbl := p.db.Table(strings.ToLower(name))
+	if tbl == nil {
+		return nil, fmt.Errorf("unknown table %q", name)
+	}
+	return tbl, nil
+}
+
+func (p *parser) colIndex(tbl *engine.Table, name string) (int, error) {
+	idx := tbl.Schema.ColIndex(strings.ToUpper(name))
+	if idx < 0 {
+		idx = tbl.Schema.ColIndex(name)
+	}
+	if idx < 0 {
+		return 0, fmt.Errorf("unknown column %q in table %s", name, tbl.Schema.Name)
+	}
+	return idx, nil
+}
+
+// valueExpr parses '?' or a literal.
+func (p *parser) valueExpr() (*expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokPlaceholder:
+		p.pos++
+		e := &expr{kind: exprPlaceholder, argIdx: p.args}
+		p.args++
+		return e, nil
+	case tokString:
+		p.pos++
+		return &expr{kind: exprLiteral, lit: engine.Str(t.text)}, nil
+	case tokNumber:
+		p.pos++
+		if strings.ContainsRune(t.text, '.') {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad number %q", t.text)
+			}
+			return &expr{kind: exprLiteral, lit: engine.Float(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q", t.text)
+		}
+		return &expr{kind: exprLiteral, lit: engine.Int(n)}, nil
+	default:
+		return nil, fmt.Errorf("expected value, got %s", t)
+	}
+}
+
+// where parses "WHERE <pkcol> = <value>" and validates the column is the
+// single-column primary key (the subset's point-access contract).
+func (p *parser) where(tbl *engine.Table) (*expr, error) {
+	if err := p.expectKeyword("WHERE"); err != nil {
+		return nil, err
+	}
+	col, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	idx, err := p.colIndex(tbl, col)
+	if err != nil {
+		return nil, err
+	}
+	if len(tbl.Schema.KeyCols) != 1 || tbl.Schema.KeyCols[0] != idx {
+		return nil, fmt.Errorf("WHERE column %q is not the primary key of %s", col, tbl.Schema.Name)
+	}
+	if err := p.expectSymbol("="); err != nil {
+		return nil, err
+	}
+	return p.valueExpr()
+}
+
+func (p *parser) parseSelect() (*Stmt, error) {
+	p.pos++ // SELECT
+	st := &Stmt{Kind: StmtSelect}
+	star := false
+	var colNames []string
+	if p.isSymbol("*") {
+		p.pos++
+		star = true
+	} else {
+		for {
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			colNames = append(colNames, name)
+			if !p.isSymbol(",") {
+				break
+			}
+			p.pos++
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	tname, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st.table, err = p.resolveTable(tname)
+	if err != nil {
+		return nil, err
+	}
+	if !star {
+		for _, name := range colNames {
+			idx, err := p.colIndex(st.table, name)
+			if err != nil {
+				return nil, err
+			}
+			st.selectCols = append(st.selectCols, idx)
+		}
+	}
+	st.whereExpr, err = p.where(st.table)
+	if err != nil {
+		return nil, err
+	}
+	return st, p.finish()
+}
+
+func (p *parser) parseInsert() (*Stmt, error) {
+	p.pos++ // INSERT
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	tname, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st := &Stmt{Kind: StmtInsert}
+	st.table, err = p.resolveTable(tname)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	for {
+		if p.isKeyword("DEFAULT") {
+			p.pos++
+			st.insertExprs = append(st.insertExprs, &expr{kind: exprDefault})
+		} else {
+			e, err := p.valueExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.insertExprs = append(st.insertExprs, e)
+		}
+		if p.isSymbol(",") {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	if got, want := len(st.insertExprs), len(st.table.Schema.Cols); got != want {
+		return nil, fmt.Errorf("INSERT supplies %d values, table %s has %d columns", got, st.table.Schema.Name, want)
+	}
+	for i, e := range st.insertExprs {
+		if e.kind == exprDefault {
+			if len(st.table.Schema.KeyCols) != 1 || st.table.Schema.KeyCols[0] != i {
+				return nil, fmt.Errorf("DEFAULT only supported for the auto-increment primary key column")
+			}
+		}
+	}
+	return st, p.finish()
+}
+
+func (p *parser) parseUpdate() (*Stmt, error) {
+	p.pos++ // UPDATE
+	tname, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st := &Stmt{Kind: StmtUpdate}
+	st.table, err = p.resolveTable(tname)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	for {
+		colName, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		idx, err := p.colIndex(st.table, colName)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("="); err != nil {
+			return nil, err
+		}
+		// Either "col = col + value" (self-relative) or a plain value.
+		if p.peek().kind == tokIdent && !p.isKeyword("DEFAULT") {
+			ref, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			refIdx, err := p.colIndex(st.table, ref)
+			if err != nil {
+				return nil, err
+			}
+			if refIdx != idx {
+				return nil, fmt.Errorf("SET %s = %s: only self-referencing arithmetic is supported", colName, ref)
+			}
+			if err := p.expectSymbol("+"); err != nil {
+				return nil, err
+			}
+			addend, err := p.valueExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.setCols = append(st.setCols, idx)
+			st.setExprs = append(st.setExprs, &expr{kind: exprSelfPlus, addend: addend})
+		} else {
+			e, err := p.valueExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.setCols = append(st.setCols, idx)
+			st.setExprs = append(st.setExprs, e)
+		}
+		if p.isSymbol(",") {
+			p.pos++
+			continue
+		}
+		break
+	}
+	st.whereExpr, err = p.where(st.table)
+	if err != nil {
+		return nil, err
+	}
+	return st, p.finish()
+}
+
+func (p *parser) parseDelete() (*Stmt, error) {
+	p.pos++ // DELETE
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	tname, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st := &Stmt{Kind: StmtDelete}
+	var err2 error
+	st.table, err2 = p.resolveTable(tname)
+	if err2 != nil {
+		return nil, err2
+	}
+	var err3 error
+	st.whereExpr, err3 = p.where(st.table)
+	if err3 != nil {
+		return nil, err3
+	}
+	return st, p.finish()
+}
+
+func (p *parser) finish() error {
+	if p.isSymbol(";") {
+		p.pos++
+	}
+	if p.peek().kind != tokEOF {
+		return fmt.Errorf("trailing input starting at %s", p.peek())
+	}
+	return nil
+}

@@ -1,0 +1,309 @@
+package sqlmini
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"cloudybench/internal/core"
+	"cloudybench/internal/engine"
+	"cloudybench/internal/sim"
+)
+
+var epoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// testDB builds a DB with the CloudyBench sales schema at a tiny scale.
+func testDB(s *sim.Sim, t *testing.T) *engine.DB {
+	t.Helper()
+	db := engine.NewDB(s)
+	d := core.NewDataset(1, 42)
+	if err := d.CreateTables(db); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// inTxn runs fn inside a simulation process with a fresh transaction,
+// committing afterwards.
+func inTxn(t *testing.T, db *engine.DB, s *sim.Sim, fn func(ex Execer)) {
+	t.Helper()
+	s.Go("txn", func(p *sim.Proc) {
+		txn := db.Begin(p)
+		fn(EngineExec{Txn: txn})
+		if _, err := txn.Commit(); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrepareTableIIStatements(t *testing.T) {
+	s := sim.New(epoch)
+	db := testDB(s, t)
+	stmts, err := LoadDefaultSqlstmts(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmts.T1Insert.Kind != StmtInsert || stmts.T1Insert.NumArgs != 4 {
+		t.Fatalf("T1: %v args %d", stmts.T1Insert.Kind, stmts.T1Insert.NumArgs)
+	}
+	if stmts.T2SelectOrder.Kind != StmtSelect || stmts.T2SelectOrder.NumArgs != 1 {
+		t.Fatal("T2 select")
+	}
+	if stmts.T2UpdateOrder.NumArgs != 2 || stmts.T2UpdateCustomer.NumArgs != 3 {
+		t.Fatal("T2 updates arg counts")
+	}
+	if stmts.T4Delete.Kind != StmtDelete {
+		t.Fatal("T4")
+	}
+}
+
+func TestSelectByPrimaryKey(t *testing.T) {
+	s := sim.New(epoch)
+	db := testDB(s, t)
+	sel := MustPrepare(db, "SELECT O_ID, O_DATE, O_STATUS FROM orders WHERE O_ID = ?")
+	inTxn(t, db, s, func(ex Execer) {
+		res, err := sel.Exec(ex, engine.Int(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 1 || res.Rows[0][0].I != 7 {
+			t.Fatalf("rows: %v", res.Rows)
+		}
+		if len(res.Cols) != 3 || res.Cols[2] != "O_STATUS" {
+			t.Fatalf("cols: %v", res.Cols)
+		}
+		// Missing row: zero rows, no error.
+		res, err = sel.Exec(ex, engine.Int(999_999_999))
+		if err != nil || len(res.Rows) != 0 {
+			t.Fatalf("missing row: %v %v", res.Rows, err)
+		}
+	})
+}
+
+func TestSelectStar(t *testing.T) {
+	s := sim.New(epoch)
+	db := testDB(s, t)
+	sel := MustPrepare(db, "SELECT * FROM customer WHERE C_ID = ?")
+	inTxn(t, db, s, func(ex Execer) {
+		res, err := sel.Exec(ex, engine.Int(3))
+		if err != nil || len(res.Rows) != 1 {
+			t.Fatalf("%v %v", res, err)
+		}
+		if len(res.Cols) != 4 || len(res.Rows[0]) != 4 {
+			t.Fatalf("star projection: %v", res.Cols)
+		}
+	})
+}
+
+func TestInsertWithDefaultAutoID(t *testing.T) {
+	s := sim.New(epoch)
+	db := testDB(s, t)
+	ins := MustPrepare(db, "INSERT INTO orderline VALUES (DEFAULT, ?, ?, ?, ?)")
+	ol := db.Table(core.TableOrderline)
+	before := ol.MaxID()
+	inTxn(t, db, s, func(ex Execer) {
+		res, err := ins.Exec(ex, engine.Int(5), engine.Str("sku-x"), engine.Int(2), engine.Float(9.5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Affected != 1 || res.AutoID != before+1 {
+			t.Fatalf("insert result: %+v", res)
+		}
+	})
+	row, _, ok := ol.Get(engine.IntKey(before + 1))
+	if !ok || row[1].I != 5 || row[2].S != "sku-x" {
+		t.Fatalf("inserted row: %v %v", row, ok)
+	}
+}
+
+func TestUpdateWithLiteralAndArithmetic(t *testing.T) {
+	s := sim.New(epoch)
+	db := testDB(s, t)
+	updOrder := MustPrepare(db, "UPDATE orders SET O_UPDATEDDATE = ?, O_STATUS = 'PAID' WHERE O_ID = ?")
+	updCust := MustPrepare(db, "UPDATE customer SET C_CREDIT = C_CREDIT + ?, C_UPDATEDDATE = ? WHERE C_ID = ?")
+	cust := db.Table(core.TableCustomer)
+	beforeRow, _, _ := cust.Get(engine.IntKey(9))
+	beforeCredit := beforeRow[2].F
+	inTxn(t, db, s, func(ex Execer) {
+		res, err := updOrder.Exec(ex, engine.Int(123456), engine.Int(4))
+		if err != nil || res.Affected != 1 {
+			t.Fatalf("order update: %+v %v", res, err)
+		}
+		res, err = updCust.Exec(ex, engine.Float(25.5), engine.Int(777), engine.Int(9))
+		if err != nil || res.Affected != 1 {
+			t.Fatalf("customer update: %+v %v", res, err)
+		}
+		// Missing row affects zero.
+		res, err = updOrder.Exec(ex, engine.Int(1), engine.Int(987_654_321))
+		if err != nil || res.Affected != 0 {
+			t.Fatalf("missing update: %+v %v", res, err)
+		}
+	})
+	orow, _, _ := db.Table(core.TableOrders).Get(engine.IntKey(4))
+	if orow[4].S != "PAID" || orow[5].I != 123456 {
+		t.Fatalf("order after update: %v", orow)
+	}
+	crow, _, _ := cust.Get(engine.IntKey(9))
+	if crow[2].F != beforeCredit+25.5 || crow[3].I != 777 {
+		t.Fatalf("credit = %v, want %v", crow[2].F, beforeCredit+25.5)
+	}
+}
+
+func TestUpdateIntArithmeticAndCoercion(t *testing.T) {
+	s := sim.New(epoch)
+	db := testDB(s, t)
+	// Integer self-plus on an int column.
+	upd := MustPrepare(db, "UPDATE orderline SET OL_QUANTITY = OL_QUANTITY + ? WHERE OL_ID = ?")
+	ol := db.Table(core.TableOrderline)
+	before, _, _ := ol.Get(engine.IntKey(11))
+	inTxn(t, db, s, func(ex Execer) {
+		if _, err := upd.Exec(ex, engine.Int(3), engine.Int(11)); err != nil {
+			t.Fatal(err)
+		}
+		// Int arg against a float column coerces.
+		updAmt := MustPrepare(db, "UPDATE orderline SET OL_AMOUNT = ? WHERE OL_ID = ?")
+		if _, err := updAmt.Exec(ex, engine.Int(42), engine.Int(11)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	after, _, _ := ol.Get(engine.IntKey(11))
+	if after[3].I != before[3].I+3 {
+		t.Fatalf("quantity: %v -> %v", before[3], after[3])
+	}
+	if after[4].Kind != engine.KindFloat || after[4].F != 42 {
+		t.Fatalf("amount coercion: %v", after[4])
+	}
+}
+
+func TestDeleteStatement(t *testing.T) {
+	s := sim.New(epoch)
+	db := testDB(s, t)
+	del := MustPrepare(db, "DELETE FROM orderline WHERE OL_ID = ?")
+	inTxn(t, db, s, func(ex Execer) {
+		res, err := del.Exec(ex, engine.Int(42))
+		if err != nil || res.Affected != 1 {
+			t.Fatalf("delete: %+v %v", res, err)
+		}
+		res, err = del.Exec(ex, engine.Int(42))
+		if err != nil || res.Affected != 0 {
+			t.Fatalf("double delete: %+v %v", res, err)
+		}
+	})
+	if _, _, ok := db.Table(core.TableOrderline).Get(engine.IntKey(42)); ok {
+		t.Fatal("row visible after delete")
+	}
+}
+
+func TestArgCountMismatch(t *testing.T) {
+	s := sim.New(epoch)
+	db := testDB(s, t)
+	sel := MustPrepare(db, "SELECT * FROM orders WHERE O_ID = ?")
+	inTxn(t, db, s, func(ex Execer) {
+		if _, err := sel.Exec(ex); err == nil {
+			t.Error("missing args accepted")
+		}
+		if _, err := sel.Exec(ex, engine.Int(1), engine.Int(2)); err == nil {
+			t.Error("extra args accepted")
+		}
+	})
+}
+
+func TestPrepareErrors(t *testing.T) {
+	s := sim.New(epoch)
+	db := testDB(s, t)
+	bad := []struct {
+		sql, wantSub string
+	}{
+		{"SELEC * FROM orders WHERE O_ID = ?", "expected SELECT"},
+		{"SELECT * FROM nope WHERE X = ?", "unknown table"},
+		{"SELECT * FROM orders WHERE O_STATUS = ?", "not the primary key"},
+		{"SELECT NOPE FROM orders WHERE O_ID = ?", "unknown column"},
+		{"INSERT INTO orders VALUES (?)", "columns"},
+		{"INSERT INTO orderline VALUES (?, DEFAULT, ?, ?, ?)", "DEFAULT only supported"},
+		{"UPDATE orders SET O_STATUS = O_DATE + ? WHERE O_ID = ?", "self-referencing"},
+		{"DELETE FROM orders", "expected WHERE"},
+		{"SELECT * FROM orders WHERE O_ID = ? garbage", "trailing input"},
+		{"UPDATE orders SET O_STATUS 'PAID' WHERE O_ID = ?", `expected "="`},
+		{"SELECT * FROM orders WHERE O_ID = 'x", "unterminated string"},
+	}
+	for _, c := range bad {
+		_, err := Prepare(db, c.sql)
+		if err == nil {
+			t.Errorf("Prepare(%q) succeeded", c.sql)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Prepare(%q) error %q missing %q", c.sql, err, c.wantSub)
+		}
+	}
+}
+
+func TestLexerEdgeCases(t *testing.T) {
+	toks, err := lex("SELECT a, b2 FROM t WHERE x = -3.5; ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []tokenKind
+	for _, tk := range toks {
+		kinds = append(kinds, tk.kind)
+	}
+	if toks[len(toks)-1].kind != tokEOF {
+		t.Fatal("no EOF token")
+	}
+	// -3.5 must lex as one number.
+	found := false
+	for _, tk := range toks {
+		if tk.kind == tokNumber && tk.text == "-3.5" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("negative float not lexed: %v", toks)
+	}
+	// Escaped quote inside string.
+	toks, err = lex("UPDATE t SET s = 'it''s' WHERE id = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tk := range toks {
+		if tk.kind == tokString && tk.text != "it's" {
+			t.Fatalf("string escape: %q", tk.text)
+		}
+	}
+	if _, err := lex("SELECT @ FROM t"); err == nil {
+		t.Fatal("bad character accepted")
+	}
+	_ = kinds
+}
+
+// TestSQLPathEquivalentToNativeT2 runs the T2 transaction via SQL and
+// verifies the database state matches the native path's behaviour.
+func TestSQLPathEquivalentToNativeT2(t *testing.T) {
+	s := sim.New(epoch)
+	db := testDB(s, t)
+	stmts, err := LoadDefaultSqlstmts(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inTxn(t, db, s, func(ex Execer) {
+		res, err := stmts.T2SelectOrder.Exec(ex, engine.Int(20))
+		if err != nil || len(res.Rows) != 1 {
+			t.Fatalf("select order: %v %v", res, err)
+		}
+		order := res.Rows[0]
+		cid, amount := order[1].I, order[2].F
+		if _, err := stmts.T2UpdateOrder.Exec(ex, engine.Int(999), engine.Int(20)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := stmts.T2UpdateCustomer.Exec(ex, engine.Float(amount), engine.Int(999), engine.Int(cid)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	orow, _, _ := db.Table(core.TableOrders).Get(engine.IntKey(20))
+	if orow[4].S != core.StatusPaid {
+		t.Fatal("order not paid via SQL path")
+	}
+}

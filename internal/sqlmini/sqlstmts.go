@@ -1,0 +1,65 @@
+package sqlmini
+
+import (
+	"fmt"
+
+	"cloudybench/internal/config"
+	"cloudybench/internal/engine"
+)
+
+// Sqlstmts holds the prepared CloudyBench workload statements for one
+// database, mirroring the paper's Sqlstmts class: statement text comes from
+// stmt_db.toml (via config.StmtCatalog) so workloads are decoupled from
+// SQL, and adding a new workload means adding catalog entries.
+type Sqlstmts struct {
+	T1Insert         *Stmt
+	T2SelectOrder    *Stmt
+	T2UpdateOrder    *Stmt
+	T2UpdateCustomer *Stmt
+	T3Select         *Stmt
+	T4Delete         *Stmt
+}
+
+// LoadSqlstmts prepares the Table II statements from the catalog against
+// the given database.
+func LoadSqlstmts(db *engine.DB, cat *config.StmtCatalog) (*Sqlstmts, error) {
+	prep := func(section, key string) (*Stmt, error) {
+		sql, ok := cat.Stmt(section, key)
+		if !ok {
+			return nil, fmt.Errorf("sqlmini: catalog missing %s.%s", section, key)
+		}
+		return Prepare(db, sql)
+	}
+	var (
+		s   Sqlstmts
+		err error
+	)
+	if s.T1Insert, err = prep("t1_new_orderline", "insert"); err != nil {
+		return nil, err
+	}
+	if s.T2SelectOrder, err = prep("t2_order_payment", "select_order"); err != nil {
+		return nil, err
+	}
+	if s.T2UpdateOrder, err = prep("t2_order_payment", "update_order"); err != nil {
+		return nil, err
+	}
+	if s.T2UpdateCustomer, err = prep("t2_order_payment", "update_customer"); err != nil {
+		return nil, err
+	}
+	if s.T3Select, err = prep("t3_order_status", "select"); err != nil {
+		return nil, err
+	}
+	if s.T4Delete, err = prep("t4_orderline_deletion", "delete"); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// LoadDefaultSqlstmts prepares the built-in stmt_db.toml catalog.
+func LoadDefaultSqlstmts(db *engine.DB) (*Sqlstmts, error) {
+	cat, err := config.ParseStmtTOML(config.DefaultStmtDB)
+	if err != nil {
+		return nil, err
+	}
+	return LoadSqlstmts(db, cat)
+}

@@ -1,0 +1,150 @@
+package sqlmini
+
+import (
+	"fmt"
+
+	"cloudybench/internal/core"
+	"cloudybench/internal/engine"
+	"cloudybench/internal/node"
+	"cloudybench/internal/rng"
+	"cloudybench/internal/sim"
+)
+
+// Workload executes the CloudyBench T1–T4 transactions through prepared
+// SQL statements instead of direct engine calls — the path the paper's
+// testbed takes (SQL text from stmt_db.toml via SqlReader/Sqlstmts). Both
+// paths run identical logical transactions against the same node
+// resources; the SQL path adds only statement-dispatch logic.
+//
+// Statements are prepared lazily per node, since each node owns its own
+// engine catalog.
+type Workload struct {
+	Seed     int64
+	prepared map[*node.Node]*Sqlstmts
+}
+
+// NewWorkload returns an empty SQL-path workload.
+func NewWorkload(seed int64) *Workload {
+	return &Workload{Seed: seed, prepared: make(map[*node.Node]*Sqlstmts)}
+}
+
+func (w *Workload) stmts(n *node.Node) (*Sqlstmts, error) {
+	if s, ok := w.prepared[n]; ok {
+		return s, nil
+	}
+	s, err := LoadDefaultSqlstmts(n.DB)
+	if err != nil {
+		return nil, err
+	}
+	w.prepared[n] = s
+	return s, nil
+}
+
+// T1NewOrderline runs INSERT INTO orderline VALUES (DEFAULT, ?,?,?,?).
+func (w *Workload) T1NewOrderline(p *sim.Proc, n *node.Node, src *rng.Source, dist rng.Dist) error {
+	stmts, err := w.stmts(n)
+	if err != nil {
+		return err
+	}
+	tx, err := n.Begin(p)
+	if err != nil {
+		return err
+	}
+	oid := dist.Next(n.DB.Table(core.TableOrders).MaxID())
+	_, err = stmts.T1Insert.Exec(tx,
+		engine.Int(oid),
+		engine.Str("sku-"+src.Letters(6)),
+		engine.Int(src.IntRange(1, 9)),
+		engine.Float(float64(src.IntRange(100, 99_99))/100),
+	)
+	if err != nil {
+		tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}
+
+// T2OrderPayment runs the three-statement payment transaction.
+func (w *Workload) T2OrderPayment(p *sim.Proc, n *node.Node, src *rng.Source, dist rng.Dist) error {
+	stmts, err := w.stmts(n)
+	if err != nil {
+		return err
+	}
+	tx, err := n.Begin(p)
+	if err != nil {
+		return err
+	}
+	oid := dist.Next(n.DB.Table(core.TableOrders).MaxID())
+	now := engine.Int(p.Now().UnixMicro())
+
+	sel, err := stmts.T2SelectOrder.Exec(tx, engine.Int(oid))
+	if err != nil {
+		tx.Abort()
+		return err
+	}
+	if len(sel.Rows) == 0 {
+		return tx.Commit() // order vanished: empty but successful check
+	}
+	order := sel.Rows[0] // O_ID, O_C_ID, O_TOTALAMOUNT, O_UPDATEDDATE
+	if _, err := stmts.T2UpdateOrder.Exec(tx, now, engine.Int(oid)); err != nil {
+		tx.Abort()
+		return err
+	}
+	if _, err := stmts.T2UpdateCustomer.Exec(tx,
+		engine.Float(order[2].F), now, engine.Int(order[1].I)); err != nil {
+		tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}
+
+// T3OrderStatus runs the read-only status check on a read node.
+func (w *Workload) T3OrderStatus(p *sim.Proc, n *node.Node, src *rng.Source, dist rng.Dist) error {
+	stmts, err := w.stmts(n)
+	if err != nil {
+		return err
+	}
+	tx, err := n.Begin(p)
+	if err != nil {
+		return err
+	}
+	oid := dist.Next(n.DB.Table(core.TableOrders).MaxID())
+	if _, err := stmts.T3Select.Exec(tx, engine.Int(oid)); err != nil {
+		tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}
+
+// T4OrderlineDeletion runs DELETE FROM orderline WHERE OL_ID = ?.
+func (w *Workload) T4OrderlineDeletion(p *sim.Proc, n *node.Node, src *rng.Source, dist rng.Dist) error {
+	stmts, err := w.stmts(n)
+	if err != nil {
+		return err
+	}
+	tx, err := n.Begin(p)
+	if err != nil {
+		return err
+	}
+	olid := dist.Next(n.DB.Table(core.TableOrderline).MaxID())
+	if _, err := stmts.T4Delete.Exec(tx, engine.Int(olid)); err != nil {
+		tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}
+
+// Exec dispatches by transaction type, matching core's runner semantics.
+func (w *Workload) Exec(typ core.TxnType, p *sim.Proc, n *node.Node, src *rng.Source, dist rng.Dist) error {
+	switch typ {
+	case core.T1NewOrderline:
+		return w.T1NewOrderline(p, n, src, dist)
+	case core.T2OrderPayment:
+		return w.T2OrderPayment(p, n, src, dist)
+	case core.T3OrderStatus:
+		return w.T3OrderStatus(p, n, src, dist)
+	case core.T4OrderlineDeletion:
+		return w.T4OrderlineDeletion(p, n, src, dist)
+	}
+	return fmt.Errorf("sqlmini: unknown transaction %v", typ)
+}

@@ -1,0 +1,121 @@
+package sqlmini
+
+import (
+	"testing"
+	"time"
+
+	"cloudybench/internal/core"
+	"cloudybench/internal/engine"
+	"cloudybench/internal/node"
+	"cloudybench/internal/rng"
+	"cloudybench/internal/sim"
+)
+
+func makeNode(s *sim.Sim, t *testing.T) *node.Node {
+	t.Helper()
+	n := node.New(s, node.Config{
+		Name: "n", VCores: 4, MemoryBytes: 256 << 20,
+		OpCPU: 100 * time.Microsecond, TxnCPU: 50 * time.Microsecond,
+	}, node.NullBackend{})
+	if err := core.NewDataset(1, 42).CreateTables(n.DB); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestSQLWorkloadRunsAllTransactionTypes(t *testing.T) {
+	s := sim.New(epoch)
+	n := makeNode(s, t)
+	w := NewWorkload(7)
+	s.Go("worker", func(p *sim.Proc) {
+		src := rng.New(7)
+		dist := &rng.Uniform{Src: rng.New(8)}
+		for i := 0; i < 50; i++ {
+			for _, typ := range []core.TxnType{
+				core.T1NewOrderline, core.T2OrderPayment,
+				core.T3OrderStatus, core.T4OrderlineDeletion,
+			} {
+				if err := w.Exec(typ, p, n, src, dist); err != nil {
+					t.Errorf("%v: %v", typ, err)
+					return
+				}
+			}
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	commits, aborts := n.DB.Stats()
+	if commits != 200 {
+		t.Fatalf("commits = %d, want 200", commits)
+	}
+	if aborts != 0 {
+		t.Fatalf("aborts = %d", aborts)
+	}
+	// T1 inserted 50 orderlines beyond the base.
+	if got := n.DB.Table(core.TableOrderline).MaxID(); got != 3_000_050 {
+		t.Fatalf("orderline max id = %d", got)
+	}
+	if w.Exec(core.TxnType(99), nil, n, nil, nil) == nil {
+		t.Fatal("unknown type accepted")
+	}
+}
+
+// TestSQLWorkloadMatchesNative runs the same seeded T2 against two
+// identical nodes — one via the SQL path, one via the native runner logic —
+// and checks the resulting database states agree.
+func TestSQLWorkloadMatchesNative(t *testing.T) {
+	s := sim.New(epoch)
+	sqlNode := makeNode(s, t)
+	natNode := makeNode(s, t)
+	w := NewWorkload(7)
+
+	const oid = 1234
+	s.Go("drive", func(p *sim.Proc) {
+		// SQL path.
+		fixed := &fixedDist{id: oid}
+		if err := w.T2OrderPayment(p, sqlNode, rng.New(1), fixed); err != nil {
+			t.Error(err)
+			return
+		}
+		// Native path: same logical transaction by hand.
+		tx, _ := natNode.Begin(p)
+		orders := natNode.DB.Table(core.TableOrders)
+		customers := natNode.DB.Table(core.TableCustomer)
+		row, err := tx.GetForUpdate(orders, engine.IntKey(oid))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		upd := row.Clone()
+		upd[4] = engine.Str(core.StatusPaid)
+		upd[5] = engine.Int(p.Now().UnixMicro())
+		tx.Update(orders, engine.IntKey(oid), upd)
+		crow, _ := tx.GetForUpdate(customers, engine.IntKey(row[1].I))
+		cupd := crow.Clone()
+		cupd[2] = engine.Float(crow[2].F + row[2].F)
+		cupd[3] = engine.Int(p.Now().UnixMicro())
+		tx.Update(customers, engine.IntKey(row[1].I), cupd)
+		tx.Commit()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Both orders are PAID with identical customer credit.
+	so, _, _ := sqlNode.DB.Table(core.TableOrders).Get(engine.IntKey(oid))
+	no, _, _ := natNode.DB.Table(core.TableOrders).Get(engine.IntKey(oid))
+	if so[4].S != core.StatusPaid || no[4].S != core.StatusPaid {
+		t.Fatalf("statuses: sql=%v native=%v", so[4], no[4])
+	}
+	cid := so[1].I
+	sc, _, _ := sqlNode.DB.Table(core.TableCustomer).Get(engine.IntKey(cid))
+	nc, _, _ := natNode.DB.Table(core.TableCustomer).Get(engine.IntKey(cid))
+	if sc[2].F != nc[2].F {
+		t.Fatalf("credits diverge: sql=%v native=%v", sc[2].F, nc[2].F)
+	}
+}
+
+type fixedDist struct{ id int64 }
+
+func (f *fixedDist) Next(max int64) int64 { return f.id }
+func (f *fixedDist) Name() string         { return "fixed" }

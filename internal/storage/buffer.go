@@ -1,0 +1,186 @@
+package storage
+
+import "container/list"
+
+// BufferPool is an LRU page cache with dirty-page tracking. It runs inside
+// the simulation's single-runnable discipline, so it needs no locking.
+//
+// The pool stores page *residency*, not page bytes: Pin answers "was this a
+// hit?", and the caller (a database node) charges the appropriate I/O and
+// network delays on a miss before calling Admit. Dirty tracking drives the
+// ARIES-style engines' flush-on-evict and checkpoint behaviour, which the
+// paper identifies as RDS's bottleneck under write-heavy load (§III-B).
+type BufferPool struct {
+	capacity int // max resident pages; 0 means nothing fits
+	pages    map[PageID]*list.Element
+	lru      *list.List // front = most recently used
+
+	hits    int64
+	misses  int64
+	evicted int64
+	flushed int64 // dirty pages written back (on evict or checkpoint)
+}
+
+type bufEntry struct {
+	id    PageID
+	dirty bool
+}
+
+// NewBufferPool returns a pool that holds at most capacity pages.
+func NewBufferPool(capacity int) *BufferPool {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &BufferPool{
+		capacity: capacity,
+		pages:    make(map[PageID]*list.Element),
+		lru:      list.New(),
+	}
+}
+
+// NewBufferPoolBytes returns a pool sized to hold bytes/PageSize pages.
+func NewBufferPoolBytes(bytes int64) *BufferPool {
+	return NewBufferPool(int(bytes / PageSize))
+}
+
+// Capacity returns the maximum number of resident pages.
+func (b *BufferPool) Capacity() int { return b.capacity }
+
+// Len returns the number of currently resident pages.
+func (b *BufferPool) Len() int { return b.lru.Len() }
+
+// Contains reports residency without touching recency or stats.
+func (b *BufferPool) Contains(id PageID) bool {
+	_, ok := b.pages[id]
+	return ok
+}
+
+// Pin records an access to the page and reports whether it was resident
+// (hit). On a miss the caller should pay its architecture's fetch cost and
+// then call Admit.
+func (b *BufferPool) Pin(id PageID) bool {
+	if el, ok := b.pages[id]; ok {
+		b.lru.MoveToFront(el)
+		b.hits++
+		return true
+	}
+	b.misses++
+	return false
+}
+
+// Admit inserts the page as most recently used, evicting the LRU page if
+// the pool is full. It returns the evicted page and whether the evicted
+// page was dirty (requiring writeback in ARIES-style engines). If nothing
+// was evicted, ok is false.
+func (b *BufferPool) Admit(id PageID) (evicted PageID, dirty, ok bool) {
+	if b.capacity == 0 {
+		return PageID{}, false, false
+	}
+	if el, exists := b.pages[id]; exists {
+		b.lru.MoveToFront(el)
+		return PageID{}, false, false
+	}
+	for b.lru.Len() >= b.capacity {
+		back := b.lru.Back()
+		ent := back.Value.(*bufEntry)
+		b.lru.Remove(back)
+		delete(b.pages, ent.id)
+		b.evicted++
+		evicted, dirty, ok = ent.id, ent.dirty, true
+		if dirty {
+			b.flushed++
+		}
+	}
+	b.pages[id] = b.lru.PushFront(&bufEntry{id: id})
+	return evicted, dirty, ok
+}
+
+// MarkDirty flags a resident page as modified. Non-resident pages are
+// ignored (the write went straight through).
+func (b *BufferPool) MarkDirty(id PageID) {
+	if el, ok := b.pages[id]; ok {
+		el.Value.(*bufEntry).dirty = true
+	}
+}
+
+// DirtyCount returns the number of resident dirty pages.
+func (b *BufferPool) DirtyCount() int {
+	n := 0
+	for el := b.lru.Front(); el != nil; el = el.Next() {
+		if el.Value.(*bufEntry).dirty {
+			n++
+		}
+	}
+	return n
+}
+
+// FlushAll clears all dirty flags, returning how many pages were flushed.
+// Checkpointing engines pay writeback I/O for each.
+func (b *BufferPool) FlushAll() int {
+	n := 0
+	for el := b.lru.Front(); el != nil; el = el.Next() {
+		ent := el.Value.(*bufEntry)
+		if ent.dirty {
+			ent.dirty = false
+			n++
+		}
+	}
+	b.flushed += int64(n)
+	return n
+}
+
+// Invalidate drops the page if resident (cache-coherency protocol of the
+// memory-disaggregated architecture). It reports whether the page was
+// resident.
+func (b *BufferPool) Invalidate(id PageID) bool {
+	el, ok := b.pages[id]
+	if !ok {
+		return false
+	}
+	b.lru.Remove(el)
+	delete(b.pages, id)
+	return true
+}
+
+// Clear empties the pool (node restart: cache is lost).
+func (b *BufferPool) Clear() {
+	b.pages = make(map[PageID]*list.Element)
+	b.lru.Init()
+}
+
+// Resize changes capacity, evicting LRU pages if shrinking. Serverless
+// engines resize the buffer when memory scales. Returns the number of
+// dirty pages evicted (requiring writeback).
+func (b *BufferPool) Resize(capacity int) int {
+	if capacity < 0 {
+		capacity = 0
+	}
+	b.capacity = capacity
+	dirtyEvicted := 0
+	for b.lru.Len() > b.capacity {
+		back := b.lru.Back()
+		ent := back.Value.(*bufEntry)
+		b.lru.Remove(back)
+		delete(b.pages, ent.id)
+		b.evicted++
+		if ent.dirty {
+			b.flushed++
+			dirtyEvicted++
+		}
+	}
+	return dirtyEvicted
+}
+
+// Stats returns cumulative hit/miss/eviction/flush counts.
+func (b *BufferPool) Stats() (hits, misses, evicted, flushed int64) {
+	return b.hits, b.misses, b.evicted, b.flushed
+}
+
+// HitRatio returns hits/(hits+misses), or 0 with no accesses.
+func (b *BufferPool) HitRatio() float64 {
+	total := b.hits + b.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(b.hits) / float64(total)
+}

@@ -1,0 +1,313 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestPagesForAndRowsPerPage(t *testing.T) {
+	if got := PagesFor(0, 64); got != 0 {
+		t.Fatalf("PagesFor(0) = %d", got)
+	}
+	// 8192/64 = 128 rows per page.
+	if got := RowsPerPage(64); got != 128 {
+		t.Fatalf("RowsPerPage(64) = %d, want 128", got)
+	}
+	if got := PagesFor(128, 64); got != 1 {
+		t.Fatalf("PagesFor(128,64) = %d, want 1", got)
+	}
+	if got := PagesFor(129, 64); got != 2 {
+		t.Fatalf("PagesFor(129,64) = %d, want 2", got)
+	}
+	// Oversized rows still fit one per page.
+	if got := RowsPerPage(100000); got != 1 {
+		t.Fatalf("RowsPerPage(huge) = %d, want 1", got)
+	}
+	if got := RowsPerPage(0); got <= 0 {
+		t.Fatalf("RowsPerPage(0) = %d, want positive", got)
+	}
+}
+
+func pid(n uint64) PageID { return PageID{Table: 1, Num: n} }
+
+func TestBufferPoolHitMissLRU(t *testing.T) {
+	b := NewBufferPool(2)
+	if b.Pin(pid(1)) {
+		t.Fatal("empty pool reported hit")
+	}
+	b.Admit(pid(1))
+	b.Admit(pid(2))
+	if !b.Pin(pid(1)) || !b.Pin(pid(2)) {
+		t.Fatal("resident pages reported miss")
+	}
+	// Access order is now 1 then 2 (2 most recent); admitting 3 evicts 1.
+	if b.Pin(pid(3)) {
+		t.Fatal("absent page reported hit")
+	}
+	ev, dirty, ok := b.Admit(pid(3))
+	if !ok || ev != pid(1) || dirty {
+		t.Fatalf("evicted = %v dirty=%v ok=%v, want page 1 clean", ev, dirty, ok)
+	}
+	if b.Contains(pid(1)) {
+		t.Fatal("evicted page still resident")
+	}
+	hits, misses, evicted, _ := b.Stats()
+	if hits != 2 || misses != 2 || evicted != 1 {
+		t.Fatalf("stats = %d/%d/%d, want 2/2/1", hits, misses, evicted)
+	}
+	if got := b.HitRatio(); got != 0.5 {
+		t.Fatalf("hit ratio = %v, want 0.5", got)
+	}
+}
+
+func TestBufferPoolDirtyEviction(t *testing.T) {
+	b := NewBufferPool(1)
+	b.Admit(pid(1))
+	b.MarkDirty(pid(1))
+	if b.DirtyCount() != 1 {
+		t.Fatalf("dirty count = %d, want 1", b.DirtyCount())
+	}
+	ev, dirty, ok := b.Admit(pid(2))
+	if !ok || ev != pid(1) || !dirty {
+		t.Fatalf("evicting dirty page: ev=%v dirty=%v ok=%v", ev, dirty, ok)
+	}
+	_, _, _, flushed := b.Stats()
+	if flushed != 1 {
+		t.Fatalf("flushed = %d, want 1", flushed)
+	}
+}
+
+func TestBufferPoolMarkDirtyNonResidentIgnored(t *testing.T) {
+	b := NewBufferPool(4)
+	b.MarkDirty(pid(9)) // must not panic or create residency
+	if b.Len() != 0 {
+		t.Fatal("MarkDirty created residency")
+	}
+}
+
+func TestBufferPoolFlushAll(t *testing.T) {
+	b := NewBufferPool(4)
+	for i := uint64(1); i <= 3; i++ {
+		b.Admit(pid(i))
+		b.MarkDirty(pid(i))
+	}
+	if n := b.FlushAll(); n != 3 {
+		t.Fatalf("FlushAll = %d, want 3", n)
+	}
+	if b.DirtyCount() != 0 {
+		t.Fatal("dirty pages remain after FlushAll")
+	}
+	if n := b.FlushAll(); n != 0 {
+		t.Fatalf("second FlushAll = %d, want 0", n)
+	}
+}
+
+func TestBufferPoolInvalidate(t *testing.T) {
+	b := NewBufferPool(4)
+	b.Admit(pid(1))
+	if !b.Invalidate(pid(1)) {
+		t.Fatal("Invalidate of resident page returned false")
+	}
+	if b.Invalidate(pid(1)) {
+		t.Fatal("Invalidate of absent page returned true")
+	}
+	if b.Contains(pid(1)) {
+		t.Fatal("page resident after invalidate")
+	}
+}
+
+func TestBufferPoolResize(t *testing.T) {
+	b := NewBufferPool(4)
+	for i := uint64(1); i <= 4; i++ {
+		b.Admit(pid(i))
+	}
+	b.MarkDirty(pid(1))
+	b.MarkDirty(pid(2))
+	dirtyEv := b.Resize(2)
+	if b.Len() != 2 || b.Capacity() != 2 {
+		t.Fatalf("len/cap = %d/%d, want 2/2", b.Len(), b.Capacity())
+	}
+	// Pages 1 and 2 were the LRU pair and both dirty.
+	if dirtyEv != 2 {
+		t.Fatalf("dirty evicted = %d, want 2", dirtyEv)
+	}
+	// Growing never evicts.
+	if ev := b.Resize(10); ev != 0 {
+		t.Fatalf("grow evicted %d pages", ev)
+	}
+}
+
+func TestBufferPoolZeroCapacity(t *testing.T) {
+	b := NewBufferPool(0)
+	if _, _, ok := b.Admit(pid(1)); ok {
+		t.Fatal("zero-capacity pool evicted something")
+	}
+	if b.Pin(pid(1)) {
+		t.Fatal("zero-capacity pool reported hit")
+	}
+	if b.Len() != 0 {
+		t.Fatal("zero-capacity pool holds pages")
+	}
+}
+
+func TestBufferPoolClear(t *testing.T) {
+	b := NewBufferPool(4)
+	b.Admit(pid(1))
+	b.Clear()
+	if b.Len() != 0 || b.Contains(pid(1)) {
+		t.Fatal("Clear did not empty the pool")
+	}
+}
+
+func TestBufferPoolAdmitExistingRefreshes(t *testing.T) {
+	b := NewBufferPool(2)
+	b.Admit(pid(1))
+	b.Admit(pid(2))
+	b.Admit(pid(1)) // refresh, no eviction
+	ev, _, ok := b.Admit(pid(3))
+	if !ok || ev != pid(2) {
+		t.Fatalf("evicted %v, want page 2 (page 1 was refreshed)", ev)
+	}
+}
+
+func TestRecordEncodeDecodeRoundTrip(t *testing.T) {
+	r := Record{
+		LSN:   42,
+		Type:  RecUpdate,
+		Txn:   7,
+		Table: 3,
+		Page:  PageID{Table: 3, Num: 99},
+		Key:   []byte("key-17"),
+		Image: []byte{0x01, 0x02, 0x00, 0xff},
+	}
+	enc := r.Encode(nil)
+	if len(enc) != r.Size() {
+		t.Fatalf("encoded size %d != Size() %d", len(enc), r.Size())
+	}
+	got, n, err := DecodeRecord(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(enc) {
+		t.Fatalf("consumed %d of %d bytes", n, len(enc))
+	}
+	if got.LSN != r.LSN || got.Type != r.Type || got.Txn != r.Txn ||
+		got.Table != r.Table || got.Page != r.Page ||
+		!bytes.Equal(got.Key, r.Key) || !bytes.Equal(got.Image, r.Image) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, r)
+	}
+}
+
+func TestRecordDecodeTruncated(t *testing.T) {
+	r := Record{Type: RecInsert, Key: []byte("k"), Image: []byte("img")}
+	enc := r.Encode(nil)
+	for i := 0; i < len(enc); i++ {
+		if _, _, err := DecodeRecord(enc[:i]); err == nil {
+			t.Fatalf("decoding %d-byte prefix did not fail", i)
+		}
+	}
+}
+
+func TestRecordRoundTripProperty(t *testing.T) {
+	check := func(typ uint8, txn uint64, table uint32, pnum uint64, key, image []byte) bool {
+		r := Record{
+			Type:  RecType(typ%7 + 1),
+			Txn:   txn,
+			Table: TableID(table),
+			Page:  PageID{Table: TableID(table), Num: pnum},
+			Key:   key,
+			Image: image,
+		}
+		enc := r.Encode(nil)
+		got, n, err := DecodeRecord(enc)
+		if err != nil || n != len(enc) {
+			return false
+		}
+		return got.Type == r.Type && got.Txn == r.Txn &&
+			bytes.Equal(got.Key, r.Key) && bytes.Equal(got.Image, r.Image)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordTypeStrings(t *testing.T) {
+	for _, typ := range []RecType{RecBegin, RecInsert, RecUpdate, RecDelete, RecCommit, RecAbort, RecCheckpoint} {
+		if s := typ.String(); s == "" || s[0] == 'R' && s != "RecType(0)" && len(s) > 10 && s[:7] == "RecType" {
+			t.Fatalf("unexpected string for %d: %q", typ, s)
+		}
+	}
+	if RecType(99).String() != "RecType(99)" {
+		t.Fatal("unknown type string")
+	}
+}
+
+func TestLogAppendReadHead(t *testing.T) {
+	l := NewLog()
+	if l.Head() != 0 {
+		t.Fatalf("empty head = %d, want 0", l.Head())
+	}
+	for i := 0; i < 5; i++ {
+		lsn := l.Append(Record{Type: RecInsert, Key: []byte{byte(i)}})
+		if lsn != LSN(i+1) {
+			t.Fatalf("append %d got LSN %d", i, lsn)
+		}
+	}
+	if l.Head() != 5 || l.Len() != 5 {
+		t.Fatalf("head/len = %d/%d, want 5/5", l.Head(), l.Len())
+	}
+	recs := l.Read(0, 0)
+	if len(recs) != 5 || recs[0].LSN != 1 || recs[4].LSN != 5 {
+		t.Fatalf("Read(0) returned %d records", len(recs))
+	}
+	recs = l.Read(2, 2)
+	if len(recs) != 2 || recs[0].LSN != 3 || recs[1].LSN != 4 {
+		t.Fatalf("Read(2,2) = LSNs %v", recs)
+	}
+	if l.Read(5, 0) != nil {
+		t.Fatal("Read past head should be nil")
+	}
+	if l.Read(99, 0) != nil {
+		t.Fatal("Read far past head should be nil")
+	}
+}
+
+func TestLogTruncate(t *testing.T) {
+	l := NewLog()
+	for i := 0; i < 10; i++ {
+		l.Append(Record{Type: RecInsert})
+	}
+	before := l.Bytes()
+	l.TruncateBefore(6)
+	if l.Len() != 5 {
+		t.Fatalf("len after truncate = %d, want 5", l.Len())
+	}
+	if l.Bytes() >= before {
+		t.Fatal("truncate did not reclaim bytes accounting")
+	}
+	recs := l.Read(5, 0)
+	if len(recs) != 5 || recs[0].LSN != 6 {
+		t.Fatalf("post-truncate read wrong: %d recs first %d", len(recs), recs[0].LSN)
+	}
+	// Reading below retention is a programming error.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("read below retention did not panic")
+		}
+	}()
+	l.Read(2, 0)
+}
+
+func TestLogTruncateBeyondHeadClamped(t *testing.T) {
+	l := NewLog()
+	l.Append(Record{Type: RecInsert})
+	l.TruncateBefore(100)
+	if l.Len() != 0 {
+		t.Fatalf("len = %d, want 0", l.Len())
+	}
+	lsn := l.Append(Record{Type: RecInsert})
+	if lsn != 2 {
+		t.Fatalf("append after full truncate got LSN %d, want 2", lsn)
+	}
+}
