@@ -1,0 +1,30 @@
+package cdb
+
+import (
+	"testing"
+	"time"
+)
+
+// TestProfilesCarryBillingQuirks pins the §III-G billing granularities to
+// the deployed profiles, so the quirk can't be lost in a profile edit while
+// the pricing-level tests keep passing on literals.
+func TestProfilesCarryBillingQuirks(t *testing.T) {
+	cases := []struct {
+		kind Kind
+		min  time.Duration
+	}{
+		{RDS, 10 * time.Minute}, // "charges for at least 10 minutes"
+		{CDB2, time.Hour},       // "the elastic pool is charged at least one hour"
+		{CDB3, 0},               // per-second billing
+	}
+	for _, c := range cases {
+		if got := ProfileFor(c.kind).Actual.MinBilling; got != c.min {
+			t.Errorf("%s MinBilling = %v, want %v", c.kind, got, c.min)
+		}
+	}
+	// The cheap-vCore ratio: "$0.16 per vCore compared with $0.42 per vCore".
+	r := ProfileFor(CDB2).Actual.PerVCoreHour / ProfileFor(CDB3).Actual.PerVCoreHour
+	if r < 2.5 {
+		t.Errorf("CDB2/CDB3 vCore rate ratio = %v, want ~2.6x", r)
+	}
+}

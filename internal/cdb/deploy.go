@@ -75,6 +75,7 @@ type Deployment struct {
 	nodes      []*node.Node
 	storeQueue *sim.Queue
 	streams    []*replication.Stream
+	links      []*netsim.Link
 }
 
 // Deploy instantiates a profile.
@@ -157,6 +158,7 @@ func Deploy(s *sim.Sim, prof Profile, opts Options) (*Deployment, error) {
 		cfg.Name = fmt.Sprintf("%s->%s", prof.Kind, target.Name)
 		if cfg.Link == nil && !prof.LocalStorage {
 			cfg.Link = netsim.NewLink(s, prof.Fabric, prof.NetGbps)
+			d.links = append(d.links, cfg.Link)
 		}
 		st := replication.NewStream(s, cfg, target)
 		if d.Remote != nil {
@@ -213,12 +215,15 @@ func (d *Deployment) makeBackend(name string) node.StorageBackend {
 		LogAckLatency:   prof.LogAckLatency,
 		RedoPushdown:    prof.RedoPushdown,
 	}
+	d.links = append(d.links, store.Link)
 	if d.Remote != nil {
-		return &node.RemoteBuffer{
+		rb := &node.RemoteBuffer{
 			Remote:   d.Remote,
 			RDMA:     netsim.NewLink(d.S, netsim.RDMA, prof.NetGbps),
 			Fallback: store,
 		}
+		d.links = append(d.links, rb.RDMA)
+		return rb
 	}
 	return store
 }
@@ -234,6 +239,11 @@ func (d *Deployment) Nodes() []*node.Node { return d.nodes }
 
 // Streams returns the replication streams (one per replica).
 func (d *Deployment) Streams() []*replication.Stream { return d.streams }
+
+// Links returns every network link the deployment created (storage paths,
+// RDMA fabrics, replication channels) — the chaos injector's link-degrade
+// target set. RDS deployments, being local-storage, have none.
+func (d *Deployment) Links() []*netsim.Link { return d.links }
 
 // Shutdown stops all background processes so the simulation can drain.
 func (d *Deployment) Shutdown() {

@@ -1,0 +1,192 @@
+// Package chaos injects faults into a simulated SUT cluster on a schedule
+// compiled onto the virtual clock. Because the DES kernel is deterministic,
+// a chaos run is exactly replayable: the same seed and schedule produce the
+// same interleaving of faults and transactions, so a failure found once can
+// be debugged forever.
+//
+// Every fault perturbs performance or availability, never correctness —
+// stalled disks delay IO, error bursts reject requests (clients retry),
+// crashed replicas buffer their replication backlog and catch up. The
+// invariant checkers in internal/check must therefore PASS under any
+// schedule; a FAIL means an engine bug, not an expected casualty of the
+// fault. Faults model §II-E's restart philosophy extended to the messier
+// failure modes real cloud databases are differentiated by.
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"cloudybench/internal/cluster"
+	"cloudybench/internal/netsim"
+	"cloudybench/internal/node"
+	"cloudybench/internal/sim"
+)
+
+// Kind identifies a fault type.
+type Kind string
+
+// Fault kinds.
+const (
+	// DiskStall blocks the target node's backend page IO for the event
+	// duration (a hung NVMe device or a storage-service brownout).
+	DiskStall Kind = "disk-stall"
+	// IOErrorBurst makes a fraction (Rate) of the target node's requests
+	// fail with node.ErrIOFault for the duration; clients back off and
+	// retry.
+	IOErrorBurst Kind = "io-error-burst"
+	// ReplicaCrash crashes the target replica mid-replay: the node goes
+	// down, the stream buffers its backlog, and on restart the replica
+	// drains the backlog (convergence is checked after quiesce).
+	ReplicaCrash Kind = "replica-crash"
+	// LinkDegrade adds ExtraLatency to every deployment link and scales
+	// bandwidth by BWFactor for the duration (congested or flapping
+	// fabric).
+	LinkDegrade Kind = "link-degrade"
+	// NodePause freezes the target node for the duration (VM live
+	// migration, long GC pause): requests block rather than error, then
+	// resume.
+	NodePause Kind = "node-pause"
+	// CacheDrop evicts every 2nd resident page of the target node's buffer
+	// pool (an eviction storm), forcing re-fetch traffic.
+	CacheDrop Kind = "cache-drop"
+)
+
+// Event is one scheduled fault.
+type Event struct {
+	// At is the virtual-time offset of injection (from schedule start).
+	At time.Duration
+	// Kind selects the fault; Duration its active window (ignored by
+	// ReplicaCrash and CacheDrop, which are instantaneous injections whose
+	// recovery the cluster controls).
+	Kind     Kind
+	Duration time.Duration
+	// Target names a node: "rw" or "roN". Ignored by LinkDegrade.
+	Target string
+	// Rate is the IOErrorBurst failure probability.
+	Rate float64
+	// ExtraLatency / BWFactor parameterize LinkDegrade.
+	ExtraLatency time.Duration
+	BWFactor     float64
+}
+
+// Schedule is a set of fault events. Events may overlap.
+type Schedule struct {
+	Events []Event
+}
+
+// Standard returns the canonical chaos schedule scaled onto a run window:
+// one of each fault kind, placed at fixed fractions of the span so any
+// measurement duration exercises the full gauntlet.
+func Standard(span time.Duration) Schedule {
+	frac := func(f float64) time.Duration { return time.Duration(float64(span) * f) }
+	return Schedule{Events: []Event{
+		{At: frac(0.10), Kind: DiskStall, Duration: frac(0.05), Target: "rw"},
+		{At: frac(0.20), Kind: CacheDrop, Target: "rw"},
+		{At: frac(0.30), Kind: LinkDegrade, Duration: frac(0.10), ExtraLatency: 200 * time.Microsecond, BWFactor: 0.25},
+		{At: frac(0.45), Kind: IOErrorBurst, Duration: frac(0.08), Target: "rw", Rate: 0.3},
+		{At: frac(0.60), Kind: ReplicaCrash, Target: "ro0"},
+		{At: frac(0.75), Kind: NodePause, Duration: frac(0.04), Target: "rw"},
+		{At: frac(0.85), Kind: DiskStall, Duration: frac(0.05), Target: "ro0"},
+	}}
+}
+
+// Targets is the fault surface of one deployment.
+type Targets struct {
+	Cluster *cluster.Cluster
+	Links   []*netsim.Link
+	// Seed drives the IO-error-burst coin flips (deterministic per node).
+	Seed int64
+}
+
+// Applied is the log entry of one injected fault.
+type Applied struct {
+	At     time.Duration
+	Kind   Kind
+	Target string
+}
+
+// Injector executes a schedule against a deployment.
+type Injector struct {
+	s       *sim.Sim
+	sched   Schedule
+	targets Targets
+
+	applied []Applied
+}
+
+// NewInjector binds a schedule to a deployment's fault surface.
+func NewInjector(s *sim.Sim, sched Schedule, t Targets) *Injector {
+	return &Injector{s: s, sched: sched, targets: t}
+}
+
+// Start spawns one injector process per event. Events fire at their
+// scheduled virtual times regardless of each other; overlaps compose.
+func (inj *Injector) Start() {
+	for i := range inj.sched.Events {
+		ev := inj.sched.Events[i]
+		name := fmt.Sprintf("chaos/%s@%v", ev.Kind, ev.At)
+		inj.s.Go(name, func(p *sim.Proc) {
+			p.Sleep(ev.At)
+			inj.fire(p, ev)
+		})
+	}
+}
+
+// Applied returns the log of injected faults in firing order.
+func (inj *Injector) Applied() []Applied { return inj.applied }
+
+// member resolves an event target against the cluster.
+func (inj *Injector) member(target string) *cluster.Member {
+	if target == "rw" {
+		return inj.targets.Cluster.RWMember()
+	}
+	var idx int
+	if _, err := fmt.Sscanf(target, "ro%d", &idx); err != nil {
+		return nil
+	}
+	return inj.targets.Cluster.Replica(idx)
+}
+
+func (inj *Injector) fire(p *sim.Proc, ev Event) {
+	inj.applied = append(inj.applied, Applied{At: p.Elapsed(), Kind: ev.Kind, Target: ev.Target})
+	switch ev.Kind {
+	case DiskStall:
+		if m := inj.member(ev.Target); m != nil {
+			m.Node.InjectIOStall(p.Elapsed() + ev.Duration)
+		}
+	case IOErrorBurst:
+		if m := inj.member(ev.Target); m != nil {
+			m.Node.SetIOErrorRate(ev.Rate, inj.targets.Seed)
+			p.Sleep(ev.Duration)
+			m.Node.SetIOErrorRate(0, 0)
+		}
+	case ReplicaCrash:
+		if m := inj.member(ev.Target); m != nil {
+			inj.targets.Cluster.InjectCrashMidReplay(p, m)
+		}
+	case LinkDegrade:
+		for _, l := range inj.targets.Links {
+			l.Degrade(ev.ExtraLatency, ev.BWFactor)
+		}
+		p.Sleep(ev.Duration)
+		for _, l := range inj.targets.Links {
+			l.Restore()
+		}
+	case NodePause:
+		if m := inj.member(ev.Target); m != nil && m.Node.State() == node.Running {
+			// Stash the serverless resume hook so the autoscaler cannot cut
+			// the pause short; requests block on the paused state.
+			resume := m.Node.OnResumeNeeded
+			m.Node.OnResumeNeeded = nil
+			m.Node.SetState(node.Paused)
+			p.Sleep(ev.Duration)
+			m.Node.SetState(node.Running)
+			m.Node.OnResumeNeeded = resume
+		}
+	case CacheDrop:
+		if m := inj.member(ev.Target); m != nil {
+			m.Node.Buf.DropEvery(2)
+		}
+	}
+}

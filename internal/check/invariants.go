@@ -1,0 +1,284 @@
+package check
+
+import (
+	"fmt"
+	"math"
+
+	"cloudybench/internal/core"
+	"cloudybench/internal/engine"
+)
+
+// Verdict is the outcome of one invariant check.
+type Verdict struct {
+	Name    string
+	Passed  bool
+	Checked int      // items the check examined (txns, reads, keys, ...)
+	Details []string // first few violations, for the report
+}
+
+const maxDetails = 5
+
+func (v *Verdict) fail(format string, args ...any) {
+	v.Passed = false
+	if len(v.Details) < maxDetails {
+		v.Details = append(v.Details, fmt.Sprintf(format, args...))
+	}
+}
+
+// String renders "PASS" or "FAIL (first violation)".
+func (v Verdict) String() string {
+	if v.Passed {
+		return fmt.Sprintf("PASS (%d checked)", v.Checked)
+	}
+	if len(v.Details) > 0 {
+		return "FAIL: " + v.Details[0]
+	}
+	return "FAIL"
+}
+
+// Conservation verifies the T2 money-conservation invariant over the sales
+// schema: within every committed transaction, the total credit added to
+// CUSTOMER rows equals the O_TOTALAMOUNT of the ORDERS rows the same
+// transaction marked PAID — money moves, it is never created or destroyed.
+// A transaction that credits a customer without paying an order (or vice
+// versa with a mismatched amount) is a violation.
+func Conservation(h *Recorder) Verdict {
+	v := Verdict{Name: "conservation", Passed: true}
+	committed := h.committedTxns()
+
+	custCredit := core.CustomerSchema().ColIndex("C_CREDIT")
+	ordAmount := core.OrdersSchema().ColIndex("O_TOTALAMOUNT")
+	ordStatus := core.OrdersSchema().ColIndex("O_STATUS")
+
+	type txnSums struct {
+		creditDelta float64
+		paidAmount  float64
+		touchedCust bool
+		touchedOrd  bool
+	}
+	sums := make(map[uint64]*txnSums)
+	get := func(txn uint64) *txnSums {
+		s := sums[txn]
+		if s == nil {
+			s = &txnSums{}
+			sums[txn] = s
+		}
+		return s
+	}
+
+	for i := range h.events {
+		ev := &h.events[i]
+		if ev.Kind != EvWrite || !committed[ev.Txn] {
+			continue
+		}
+		switch ev.Table {
+		case core.TableCustomer:
+			s := get(ev.Txn)
+			s.touchedCust = true
+			if ev.Before == nil || ev.After == nil {
+				v.fail("txn %d: customer rows must only be updated, saw insert/delete of key %x", ev.Txn, ev.Key)
+				continue
+			}
+			s.creditDelta += ev.After[custCredit].F - ev.Before[custCredit].F
+		case core.TableOrders:
+			s := get(ev.Txn)
+			s.touchedOrd = true
+			if ev.Before == nil || ev.After == nil {
+				v.fail("txn %d: order rows must only be updated, saw insert/delete of key %x", ev.Txn, ev.Key)
+				continue
+			}
+			if ev.After[ordStatus].S != core.StatusPaid {
+				v.fail("txn %d: order update left status %q, want %q", ev.Txn, ev.After[ordStatus].S, core.StatusPaid)
+			}
+			if ev.After[ordAmount].F != ev.Before[ordAmount].F {
+				v.fail("txn %d: order amount changed %.2f -> %.2f", ev.Txn, ev.Before[ordAmount].F, ev.After[ordAmount].F)
+			}
+			s.paidAmount += ev.Before[ordAmount].F
+		}
+	}
+	for txn, s := range sums {
+		v.Checked++
+		if s.touchedCust != s.touchedOrd {
+			v.fail("txn %d: touched customer=%v orders=%v — payment must touch both", txn, s.touchedCust, s.touchedOrd)
+			continue
+		}
+		if math.Abs(s.creditDelta-s.paidAmount) > 1e-6 {
+			v.fail("txn %d: credited %.4f but paid orders total %.4f", txn, s.creditDelta, s.paidAmount)
+		}
+	}
+	return v
+}
+
+// RowBalance verifies the row-count conservation invariant: for every table,
+// the live row count must equal the base rows plus committed inserts minus
+// committed deletes observed in the history (T1 grows ORDERLINE, T4 shrinks
+// it; nothing else changes cardinality). Catches lost or double-applied
+// writes on the primary.
+func RowBalance(h *Recorder, db *engine.DB) Verdict {
+	v := Verdict{Name: "row-balance", Passed: true}
+	committed := h.committedTxns()
+
+	net := make(map[string]int64)
+	for i := range h.events {
+		ev := &h.events[i]
+		if ev.Kind != EvWrite || !committed[ev.Txn] {
+			continue
+		}
+		switch {
+		case ev.Before == nil && ev.After != nil:
+			net[ev.Table]++
+		case ev.Before != nil && ev.After == nil:
+			net[ev.Table]--
+		}
+	}
+	for name, t := range db.Tables() {
+		v.Checked++
+		want := t.BaseRows() + net[name]
+		if got := t.LiveRows(); got != want {
+			v.fail("table %s: live rows %d, want base %d %+d committed net inserts = %d",
+				name, got, t.BaseRows(), net[name], want)
+		}
+	}
+	return v
+}
+
+// ReadCommitted replays the recorded history and verifies the isolation
+// contract of strict 2PL:
+//
+//   - every read observes either the reader's own pending write, the latest
+//     committed value of the key, or (before the first committed write) the
+//     key's immutable baseline;
+//   - every write's before-image matches the value the key held at that
+//     point — an interleaved uncommitted write from another transaction
+//     (impossible under 2PL, symptomatic of a broken lock table) surfaces
+//     as a before-image mismatch.
+//
+// Baselines are generator-backed and not visible in the history a priori,
+// so the checker learns them: the first observation of an unwritten key
+// fixes its baseline, and every later observation must agree.
+func ReadCommitted(h *Recorder) Verdict {
+	v := Verdict{Name: "read-committed", Passed: true}
+
+	type keyState struct {
+		known bool
+		val   string
+	}
+	state := make(map[string]*keyState)
+	pending := make(map[uint64]map[string]string)
+
+	tk := func(table string, key engine.Key) string { return table + "\x00" + string(key) }
+	expect := func(txn uint64, k string) (string, bool) {
+		if p, ok := pending[txn][k]; ok {
+			return p, true
+		}
+		if st, ok := state[k]; ok && st.known {
+			return st.val, true
+		}
+		return "", false
+	}
+	learn := func(k, val string) {
+		state[k] = &keyState{known: true, val: val}
+	}
+
+	for i := range h.events {
+		ev := &h.events[i]
+		k := tk(ev.Table, ev.Key)
+		switch ev.Kind {
+		case EvRead:
+			v.Checked++
+			got := encRow(ev.After)
+			if want, ok := expect(ev.Txn, k); ok {
+				if got != want {
+					v.fail("seq %d txn %d: read of %s key %x saw a value that is neither the latest committed one nor its own write",
+						ev.Seq, ev.Txn, ev.Table, ev.Key)
+				}
+			} else {
+				learn(k, got)
+			}
+		case EvWrite:
+			v.Checked++
+			before := encRow(ev.Before)
+			if want, ok := expect(ev.Txn, k); ok {
+				if before != want {
+					v.fail("seq %d txn %d: write to %s key %x has a stale before-image (lost update or lock violation)",
+						ev.Seq, ev.Txn, ev.Table, ev.Key)
+				}
+			} else {
+				learn(k, before)
+			}
+			if pending[ev.Txn] == nil {
+				pending[ev.Txn] = make(map[string]string)
+			}
+			pending[ev.Txn][k] = encRow(ev.After)
+		case EvCommit:
+			for pk, val := range pending[ev.Txn] {
+				learn(pk, val)
+			}
+			delete(pending, ev.Txn)
+		case EvAbort:
+			delete(pending, ev.Txn)
+		}
+	}
+	return v
+}
+
+// Convergence verifies that a replica's replayed state matches the primary
+// byte for byte after quiesce: identical live row counts and identical
+// delta overlays (including tombstones — a missing tombstone is a lost
+// delete). The caller must quiesce replication first (backlog drained).
+func Convergence(name string, primary, replica *engine.DB) Verdict {
+	v := Verdict{Name: "convergence/" + name, Passed: true}
+	for tname, pt := range primary.Tables() {
+		rt := replica.Table(tname)
+		if rt == nil {
+			v.fail("table %s missing on replica", tname)
+			continue
+		}
+		if pt.LiveRows() != rt.LiveRows() {
+			v.fail("table %s: primary has %d live rows, replica %d", tname, pt.LiveRows(), rt.LiveRows())
+		}
+		type entry struct {
+			key string
+			val string
+		}
+		collect := func(t *engine.Table) []entry {
+			var out []entry
+			t.ScanDelta(func(k engine.Key, row engine.Row, tombstone bool) bool {
+				val := "<tombstone>"
+				if !tombstone {
+					val = encRow(row)
+				}
+				out = append(out, entry{key: string(k), val: val})
+				return true
+			})
+			return out
+		}
+		pd, rd := collect(pt), collect(rt)
+		v.Checked += len(pd)
+		if len(pd) != len(rd) {
+			v.fail("table %s: primary delta has %d entries, replica %d", tname, len(pd), len(rd))
+			continue
+		}
+		for i := range pd {
+			if pd[i].key != rd[i].key {
+				v.fail("table %s: delta key mismatch at entry %d", tname, i)
+				break
+			}
+			if pd[i].val != rd[i].val {
+				v.fail("table %s: row divergence at key %x", tname, []byte(pd[i].key))
+				break
+			}
+		}
+	}
+	return v
+}
+
+// AllPassed reports whether every verdict passed.
+func AllPassed(vs []Verdict) bool {
+	for _, v := range vs {
+		if !v.Passed {
+			return false
+		}
+	}
+	return true
+}

@@ -221,6 +221,21 @@ func (c *Cluster) restartInPlace(p *sim.Proc, m *Member) {
 	c.rampUp(m.Node)
 }
 
+// InjectCrashMidReplay crashes the given RO member while its replication
+// stream is mid-replay: the node goes Down for the RO restart service time
+// (cache lost if the architecture cold-starts), while the stream keeps
+// buffering shipped records. On restart the replica must drain the
+// accumulated backlog — the replica-convergence checker verifies no record
+// was lost or skipped across the crash. It blocks the calling process until
+// the service is restored (backlog drain continues in the background).
+func (c *Cluster) InjectCrashMidReplay(p *sim.Proc, m *Member) {
+	if m == nil || m.Role != RO {
+		return
+	}
+	p.Sleep(c.cfg.DetectDelay)
+	c.restartInPlace(p, m)
+}
+
 // rampUp throttles a freshly restarted node and restores full capacity in
 // quarter steps across the configured recovery ramp.
 func (c *Cluster) rampUp(n *node.Node) {

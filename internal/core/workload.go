@@ -181,7 +181,7 @@ func (w *worker) run(p *sim.Proc) {
 		switch {
 		case err == nil:
 			cfg.Collector.RecordCommit(typ, p.Elapsed(), p.Elapsed()-start)
-		case errors.Is(err, node.ErrNodeDown):
+		case errors.Is(err, node.ErrNodeDown), errors.Is(err, node.ErrIOFault):
 			cfg.Collector.RecordError(p.Elapsed())
 			p.Sleep(cfg.RetryBackoff)
 		default:

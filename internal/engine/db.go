@@ -22,6 +22,8 @@ type DB struct {
 	nextTxn     uint64
 	nextTableID storage.TableID
 
+	observer Observer
+
 	commits int64
 	aborts  int64
 }
@@ -182,6 +184,9 @@ func (t *Txn) Get(table *Table, k Key) (Row, storage.PageID, error) {
 		return nil, storage.PageID{}, err
 	}
 	row, page, ok := table.Get(k)
+	if o := t.db.observer; o != nil {
+		o.OnRead(t.db.sim.Elapsed(), t.id, table.Schema.Name, k, row)
+	}
 	if !ok {
 		return nil, page, ErrRowNotFound
 	}
@@ -199,6 +204,9 @@ func (t *Txn) GetForUpdate(table *Table, k Key) (Row, storage.PageID, error) {
 		return nil, storage.PageID{}, err
 	}
 	row, page, ok := table.Get(k)
+	if o := t.db.observer; o != nil {
+		o.OnRead(t.db.sim.Elapsed(), t.id, table.Schema.Name, k, row)
+	}
 	if !ok {
 		return nil, page, ErrRowNotFound
 	}
@@ -219,6 +227,9 @@ func (t *Txn) Insert(table *Table, row Row) (storage.PageID, error) {
 		return storage.PageID{}, err
 	}
 	t.undo = append(t.undo, undoEntry{table: table, key: k, page: page, existed: false})
+	if o := t.db.observer; o != nil {
+		o.OnWrite(t.db.sim.Elapsed(), t.id, table.Schema.Name, k, nil, row)
+	}
 	t.pending = append(t.pending, storage.Record{
 		Type:  storage.RecInsert,
 		Txn:   t.id,
@@ -243,6 +254,9 @@ func (t *Txn) Update(table *Table, k Key, row Row) (storage.PageID, error) {
 		return page, err
 	}
 	t.undo = append(t.undo, undoEntry{table: table, key: k, prior: old, page: page, existed: true})
+	if o := t.db.observer; o != nil {
+		o.OnWrite(t.db.sim.Elapsed(), t.id, table.Schema.Name, k, old, row)
+	}
 	t.pending = append(t.pending, storage.Record{
 		Type:  storage.RecUpdate,
 		Txn:   t.id,
@@ -267,6 +281,9 @@ func (t *Txn) Delete(table *Table, k Key) (storage.PageID, error) {
 		return page, err
 	}
 	t.undo = append(t.undo, undoEntry{table: table, key: k, prior: old, page: page, existed: true})
+	if o := t.db.observer; o != nil {
+		o.OnWrite(t.db.sim.Elapsed(), t.id, table.Schema.Name, k, old, nil)
+	}
 	t.pending = append(t.pending, storage.Record{
 		Type:  storage.RecDelete,
 		Txn:   t.id,
@@ -301,6 +318,9 @@ func (t *Txn) Commit() ([]storage.Record, error) {
 	}
 	t.db.locks.ReleaseAll(t.id, t.lockSeq)
 	t.db.commits++
+	if o := t.db.observer; o != nil {
+		o.OnCommit(t.db.sim.Elapsed(), t.id)
+	}
 	return appended, nil
 }
 
@@ -316,6 +336,9 @@ func (t *Txn) Abort() error {
 	}
 	t.db.locks.ReleaseAll(t.id, t.lockSeq)
 	t.db.aborts++
+	if o := t.db.observer; o != nil {
+		o.OnAbort(t.db.sim.Elapsed(), t.id)
+	}
 	return nil
 }
 

@@ -1,0 +1,23 @@
+package engine
+
+import "time"
+
+// Observer receives the database's transaction history as it happens:
+// every read and write (with before/after images) plus commit and abort
+// outcomes, each stamped with the virtual time of the event. The invariant
+// checker (internal/check) implements it to record histories; the engine
+// defines the interface so it does not depend on the checker.
+//
+// Callbacks run inline on the transaction's process under the simulation's
+// single-runnable discipline, so their relative order is deterministic and
+// implementations need no locking. A nil-row before-image means the key did
+// not exist; a nil after-image means the write was a delete.
+type Observer interface {
+	OnRead(at time.Duration, txn uint64, table string, key Key, row Row)
+	OnWrite(at time.Duration, txn uint64, table string, key Key, before, after Row)
+	OnCommit(at time.Duration, txn uint64)
+	OnAbort(at time.Duration, txn uint64)
+}
+
+// SetObserver attaches (or, with nil, detaches) a history observer.
+func (db *DB) SetObserver(o Observer) { db.observer = o }

@@ -325,3 +325,14 @@ func (t *Table) Range(lo, hi Key, fn func(k Key, r Row) bool) {
 // DeltaLen returns the number of delta entries (rows + tombstones), a
 // memory-pressure signal for tests.
 func (t *Table) DeltaLen() int { return t.delta.Len() }
+
+// ScanDelta visits every delta entry — live rows AND tombstones — in key
+// order. The replica-convergence checker uses it to compare a replica's
+// overlay against the primary's byte for byte: tombstones matter there
+// (a missing tombstone is a lost delete), so unlike Range it does not skip
+// them. row is nil for tombstones.
+func (t *Table) ScanDelta(fn func(k Key, row Row, tombstone bool) bool) {
+	t.delta.AscendRange(nil, nil, func(k Key, dv deltaVal) bool {
+		return fn(k, dv.row, dv.row == nil)
+	})
+}

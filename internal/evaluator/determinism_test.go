@@ -1,6 +1,8 @@
 package evaluator
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -35,5 +37,30 @@ func TestEvaluatorRunsAreDeterministic(t *testing.T) {
 	})
 	if c.TPS == a.TPS && c.P99 == a.P99 {
 		t.Fatal("different seeds produced identical results (suspicious)")
+	}
+}
+
+// TestCrossGOMAXPROCSDeterminism runs the quickstart-scale measurement at
+// GOMAXPROCS=1 and GOMAXPROCS=8 with the same seed and demands byte-identical
+// rendered metrics. The DES kernel's single-runnable discipline means Go's
+// scheduler must have no influence on virtual time — this is the test that
+// catches an accidental dependency on real parallelism.
+func TestCrossGOMAXPROCSDeterminism(t *testing.T) {
+	render := func() string {
+		o := RunOLTP(OLTPConfig{
+			Kind: cdb.CDB1, Mix: core.MixReadWrite, Concurrency: 24,
+			Warmup: 500 * time.Millisecond, Measure: time.Second, Seed: 7,
+		})
+		c := RunChaos(ChaosConfig{Kind: cdb.CDB1, Span: 4 * time.Second, Concurrency: 4, Seed: 7})
+		return fmt.Sprintf("tps=%v p50=%v p99=%v hit=%v cost=%v | %s",
+			o.TPS, o.P50, o.P99, o.HitRatio, o.CostPerMin.Total(), chaosFingerprint(c))
+	}
+	prev := runtime.GOMAXPROCS(1)
+	one := render()
+	runtime.GOMAXPROCS(8)
+	eight := render()
+	runtime.GOMAXPROCS(prev)
+	if one != eight {
+		t.Fatalf("metric output differs across GOMAXPROCS:\nP=1: %s\nP=8: %s", one, eight)
 	}
 }

@@ -37,6 +37,8 @@ var registry = map[string]struct {
 		func(sc Scale) string { out, _ := Figure9(sc); return out }},
 	"ablations": {"Ablations — parallel replay, remote buffer pool, redo pushdown",
 		Ablations},
+	"chaos": {"Chaos gauntlet — ACID invariants under injected faults, all SUTs",
+		func(sc Scale) string { out, _ := Chaos(sc); return out }},
 }
 
 // IDs returns all experiment ids in sorted order.

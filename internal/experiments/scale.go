@@ -43,6 +43,10 @@ type Scale struct {
 	LagDuration time.Duration
 	LagConc     int
 
+	// Chaos gauntlet (cloudybench run chaos).
+	ChaosSpan time.Duration
+	ChaosConc int
+
 	Seed int64
 }
 
@@ -62,6 +66,8 @@ var Quick = Scale{
 	FailConc:     60,
 	LagDuration:  4 * time.Second,
 	LagConc:      8,
+	ChaosSpan:    8 * time.Second,
+	ChaosConc:    8,
 	Seed:         42,
 }
 
@@ -81,6 +87,8 @@ var Paper = Scale{
 	FailConc:     150,
 	LagDuration:  15 * time.Second,
 	LagConc:      16,
+	ChaosSpan:    30 * time.Second,
+	ChaosConc:    32,
 	Seed:         42,
 }
 

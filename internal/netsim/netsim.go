@@ -49,6 +49,12 @@ type Link struct {
 	gbps    float64
 	channel *sim.Queue // one "op" = one byte
 	bytes   int64
+
+	// Degradation state (chaos injection): the nominal values are kept so
+	// Restore can undo a Degrade exactly.
+	baseLatency time.Duration
+	baseGbps    float64
+	degraded    bool
 }
 
 // NewLink creates a link of the given fabric with the given bandwidth. A
@@ -71,6 +77,47 @@ func (l *Link) WithLatency(d time.Duration) *Link {
 	l.latency = d
 	return l
 }
+
+// Degrade is the chaos-injection hook for network faults: it adds
+// extraLatency to every transfer and scales the provisioned bandwidth by
+// bwFactor (0 < bwFactor <= 1; factors above 1 or non-positive are clamped
+// to 1, i.e. latency-only degradation). In-flight transfers keep their
+// already-reserved completion times; subsequent transfers see the degraded
+// link. Calling Degrade on an already-degraded link restacks from the
+// nominal values, not cumulatively.
+func (l *Link) Degrade(extraLatency time.Duration, bwFactor float64) {
+	if !l.degraded {
+		l.baseLatency = l.latency
+		l.baseGbps = l.gbps
+		l.degraded = true
+	}
+	if bwFactor <= 0 || bwFactor > 1 {
+		bwFactor = 1
+	}
+	l.latency = l.baseLatency + extraLatency
+	l.gbps = l.baseGbps * bwFactor
+	if l.baseGbps > 0 {
+		l.channel.SetRate(l.gbps * 1e9 / 8)
+	}
+}
+
+// Restore undoes a Degrade, returning the link to its nominal latency and
+// bandwidth. It is a no-op on a healthy link.
+func (l *Link) Restore() {
+	if !l.degraded {
+		return
+	}
+	l.latency = l.baseLatency
+	l.gbps = l.baseGbps
+	if l.gbps > 0 {
+		l.channel.SetRate(l.gbps * 1e9 / 8)
+	}
+	l.degraded = false
+}
+
+// Degraded reports whether the link is currently operating under an
+// injected degradation.
+func (l *Link) Degraded() bool { return l.degraded }
 
 // Fabric returns the link's fabric type.
 func (l *Link) Fabric() Fabric { return l.fabric }

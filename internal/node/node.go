@@ -120,6 +120,8 @@ type Node struct {
 
 	ioLatch               map[storage.PageID]*sim.Cond
 	pageReads, pageWrites int64
+
+	faults faultState
 }
 
 // New creates a node with its own engine database.
@@ -262,6 +264,7 @@ func (n *Node) ReadPage(p *sim.Proc, pg storage.PageID) {
 		}
 		latch = sim.NewCond(n.S)
 		n.ioLatch[pg] = latch
+		n.faultGate(p)
 		n.Backend.FetchPage(p, pg)
 		_, dirty, ok := n.Buf.Admit(pg)
 		delete(n.ioLatch, pg)
@@ -295,6 +298,7 @@ func (n *Node) checkpointLoop(p *sim.Proc) {
 		}
 		dirty := n.Buf.FlushAll()
 		for i := 0; i < dirty; i++ {
+			n.faultGate(p)
 			n.Backend.FlushPage(p, storage.PageID{})
 		}
 	}
@@ -319,6 +323,11 @@ func (n *Node) Begin(p *sim.Proc) (*Tx, error) {
 		return nil, err
 	}
 	n.ChargeCPU(p, n.txnCPU)
+	if n.faultReject() {
+		// CPU was already charged, so the rejection consumed virtual
+		// time — error loops cannot livelock the simulation.
+		return nil, ErrIOFault
+	}
 	return &Tx{n: n, p: p, inner: n.DB.Begin(p)}, nil
 }
 
@@ -404,6 +413,9 @@ func (n *Node) Read(p *sim.Proc, table string, k engine.Key) (engine.Row, bool, 
 		return nil, false, err
 	}
 	n.ChargeCPU(p, n.opCPU)
+	if n.faultReject() {
+		return nil, false, ErrIOFault
+	}
 	row, page, ok := n.DB.Read(table, k)
 	n.ReadPage(p, page)
 	return row, ok, nil

@@ -44,6 +44,11 @@ type Config struct {
 	// logically, making deletes cheaper — §III-F's "less lag time with
 	// higher delete ratio").
 	DeleteFactor float64
+	// DropEveryNth, when positive, silently discards every n-th data record
+	// instead of applying it. It exists ONLY to prove the convergence
+	// checker has teeth (a deliberately-broken replica must FAIL); no SUT
+	// profile sets it.
+	DropEveryNth int
 }
 
 type envelope struct {
@@ -66,9 +71,10 @@ type Stream struct {
 	lanes     []*laneState
 	stopped   bool
 
-	appliedLSN storage.LSN
-	shipped    int64
-	applied    int64
+	appliedLSN  storage.LSN
+	shipped     int64
+	applied     int64
+	dropCounter int64 // DropEveryNth bookkeeping (test-only fault)
 
 	lagInsert *meter.Reservoir
 	lagUpdate *meter.Reservoir
@@ -186,6 +192,13 @@ func (st *Stream) replayLoop(p *sim.Proc, laneID int) {
 		}
 		if cost > 0 {
 			p.Sleep(cost)
+		}
+		if n := st.cfg.DropEveryNth; n > 0 && env.rec.Type != storage.RecCommit {
+			st.dropCounter++
+			if st.dropCounter%int64(n) == 0 {
+				st.applied++
+				continue
+			}
 		}
 		if err := st.replica.DB.Apply(env.rec); err != nil {
 			panic("replication: " + err.Error())

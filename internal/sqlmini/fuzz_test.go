@@ -1,0 +1,120 @@
+package sqlmini
+
+import (
+	"testing"
+
+	"cloudybench/internal/config"
+	"cloudybench/internal/core"
+	"cloudybench/internal/engine"
+	"cloudybench/internal/sim"
+)
+
+// seedCorpus is every statement shape the workload actually issues (the
+// default stmt_db) plus malformed variants that probe each parser branch.
+func seedCorpus() []string {
+	var seeds []string
+	cat, err := config.ParseStmtTOML(config.DefaultStmtDB)
+	if err != nil {
+		panic(err)
+	}
+	for _, sec := range cat.Sections() {
+		for _, sql := range cat.SectionStmts(sec) {
+			seeds = append(seeds, sql)
+		}
+	}
+	seeds = append(seeds,
+		"SELECT * FROM orders WHERE O_ID = 7",
+		"SELECT * FROM orders WHERE O_ID = -7",
+		"UPDATE customer SET C_CREDIT = C_CREDIT + -12.5 WHERE C_ID = 1",
+		"INSERT INTO orderline VALUES (DEFAULT, 1, 2.5, 'it''s', 'x')",
+		"DELETE FROM orderline WHERE OL_ID = 9",
+		// Malformed on purpose: unknown table, non-PK where, arity mismatch,
+		// unterminated string, stray symbols, empty input.
+		"SELECT * FROM nope WHERE X = 1",
+		"SELECT O_ID FROM orders WHERE O_STATUS = 'PAID'",
+		"INSERT INTO orders VALUES (1, 2)",
+		"SELECT * FROM orders WHERE O_ID = 'abc",
+		"UPDATE orders SET",
+		"((((,,,===",
+		"",
+		"SELECT",
+		"INSERT INTO orders VALUES (1.2.3)",
+		"DELETE FROM orders WHERE O_ID = ?;",
+	)
+	return seeds
+}
+
+func fuzzDB() *engine.DB {
+	s := sim.New(epoch)
+	db := engine.NewDB(s)
+	d := core.NewDataset(1, 42)
+	d.CreateTables(db)
+	return db
+}
+
+// FuzzLexer feeds arbitrary bytes to the tokenizer; the only contract is
+// that it never panics (errors are fine).
+func FuzzLexer(f *testing.F) {
+	for _, s := range seedCorpus() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		_, _ = lex(src)
+	})
+}
+
+// FuzzParser checks Prepare never panics, and that every accepted statement
+// survives a print→parse→print round trip with the canonical form as a fixed
+// point. A drift here means Render and the parser disagree about what a
+// statement says — exactly the kind of bug that silently corrupts workloads.
+func FuzzParser(f *testing.F) {
+	for _, s := range seedCorpus() {
+		f.Add(s)
+	}
+	db := fuzzDB()
+	f.Fuzz(func(t *testing.T, src string) {
+		st, err := Prepare(db, src)
+		if err != nil {
+			return
+		}
+		r1 := st.Render()
+		st2, err := Prepare(db, r1)
+		if err != nil {
+			t.Fatalf("canonical form rejected: %q (from %q): %v", r1, src, err)
+		}
+		if r2 := st2.Render(); r2 != r1 {
+			t.Fatalf("render not a fixed point:\n r1=%q\n r2=%q\n src=%q", r1, r2, src)
+		}
+		if st2.Kind != st.Kind || st2.NumArgs != st.NumArgs {
+			t.Fatalf("round trip changed shape: kind %v→%v args %d→%d (src %q)",
+				st.Kind, st2.Kind, st.NumArgs, st2.NumArgs, src)
+		}
+	})
+}
+
+// TestRenderCanonicalForms runs the whole default statement catalog through
+// the round trip so the printer is exercised even when fuzzing is off.
+func TestRenderCanonicalForms(t *testing.T) {
+	db := fuzzDB()
+	cat, err := config.ParseStmtTOML(config.DefaultStmtDB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sec := range cat.Sections() {
+		for _, sql := range cat.SectionStmts(sec) {
+			st, err := Prepare(db, sql)
+			if err != nil {
+				t.Fatalf("prepare %q: %v", sql, err)
+			}
+			r := st.Render()
+			st2, err := Prepare(db, r)
+			if err != nil {
+				t.Fatalf("reparse %q: %v", r, err)
+			}
+			if got := st2.Render(); got != r {
+				t.Fatalf("not canonical: %q vs %q", got, r)
+			}
+			t.Logf("%s -> %s", sql, r)
+		}
+	}
+}

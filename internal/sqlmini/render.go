@@ -1,0 +1,110 @@
+package sqlmini
+
+import (
+	"strconv"
+	"strings"
+
+	"cloudybench/internal/engine"
+)
+
+// Render prints the prepared statement back as canonical SQL: schema-cased
+// identifiers, single spacing, '?' placeholders in positional order. The
+// canonical form is a fixed point — parsing Render's output and rendering
+// again reproduces it byte for byte (the property the parser fuzz test
+// enforces).
+func (st *Stmt) Render() string {
+	var b strings.Builder
+	switch st.Kind {
+	case StmtSelect:
+		b.WriteString("SELECT ")
+		if st.selectCols == nil {
+			b.WriteString("*")
+		} else {
+			for i, ci := range st.selectCols {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				b.WriteString(st.table.Schema.Cols[ci].Name)
+			}
+		}
+		b.WriteString(" FROM ")
+		b.WriteString(st.table.Schema.Name)
+		st.renderWhere(&b)
+	case StmtInsert:
+		b.WriteString("INSERT INTO ")
+		b.WriteString(st.table.Schema.Name)
+		b.WriteString(" VALUES (")
+		for i, e := range st.insertExprs {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			renderExpr(&b, e, "")
+		}
+		b.WriteString(")")
+	case StmtUpdate:
+		b.WriteString("UPDATE ")
+		b.WriteString(st.table.Schema.Name)
+		b.WriteString(" SET ")
+		for i, ci := range st.setCols {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			name := st.table.Schema.Cols[ci].Name
+			b.WriteString(name)
+			b.WriteString(" = ")
+			renderExpr(&b, st.setExprs[i], name)
+		}
+		st.renderWhere(&b)
+	case StmtDelete:
+		b.WriteString("DELETE FROM ")
+		b.WriteString(st.table.Schema.Name)
+		st.renderWhere(&b)
+	}
+	return b.String()
+}
+
+func (st *Stmt) renderWhere(b *strings.Builder) {
+	if st.whereExpr == nil {
+		return
+	}
+	b.WriteString(" WHERE ")
+	b.WriteString(st.table.Schema.Cols[st.table.Schema.KeyCols[0]].Name)
+	b.WriteString(" = ")
+	renderExpr(b, st.whereExpr, "")
+}
+
+// renderExpr prints one value expression. col is the SET target column name,
+// needed for the self-referencing "col = col + x" form.
+func renderExpr(b *strings.Builder, e *expr, col string) {
+	switch e.kind {
+	case exprPlaceholder:
+		b.WriteString("?")
+	case exprDefault:
+		b.WriteString("DEFAULT")
+	case exprSelfPlus:
+		b.WriteString(col)
+		b.WriteString(" + ")
+		renderExpr(b, e.addend, "")
+	case exprLiteral:
+		renderLiteral(b, e.lit)
+	}
+}
+
+func renderLiteral(b *strings.Builder, v engine.Value) {
+	switch v.Kind {
+	case engine.KindInt:
+		b.WriteString(strconv.FormatInt(v.I, 10))
+	case engine.KindFloat:
+		// 'f' avoids exponent forms the lexer cannot read; the forced
+		// decimal point keeps the literal a float on reparse.
+		s := strconv.FormatFloat(v.F, 'f', -1, 64)
+		if !strings.ContainsAny(s, ".") {
+			s += ".0"
+		}
+		b.WriteString(s)
+	case engine.KindString:
+		b.WriteString("'")
+		b.WriteString(strings.ReplaceAll(v.S, "'", "''"))
+		b.WriteString("'")
+	}
+}

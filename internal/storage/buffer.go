@@ -148,6 +148,46 @@ func (b *BufferPool) Clear() {
 	b.lru.Init()
 }
 
+// DropEvery is the chaos-injection hook for partial cache loss: it evicts
+// every n-th resident page in LRU order (n <= 1 empties the pool), modeling
+// an eviction storm or a degraded page-cache tier without the full cold
+// start of Clear. Dropped dirty pages are counted as flushed — the damage
+// model assumes the writeback happened before the loss, so no updates are
+// lost (chaos must perturb performance, never correctness). It returns the
+// number of pages dropped. Iteration follows the LRU list, so the selection
+// is deterministic for a deterministic access history.
+func (b *BufferPool) DropEvery(n int) int {
+	if n <= 1 {
+		dropped := b.lru.Len()
+		for el := b.lru.Front(); el != nil; el = el.Next() {
+			if el.Value.(*bufEntry).dirty {
+				b.flushed++
+			}
+		}
+		b.evicted += int64(dropped)
+		b.Clear()
+		return dropped
+	}
+	dropped := 0
+	i := 0
+	for el := b.lru.Front(); el != nil; {
+		next := el.Next()
+		if i%n == 0 {
+			ent := el.Value.(*bufEntry)
+			b.lru.Remove(el)
+			delete(b.pages, ent.id)
+			b.evicted++
+			if ent.dirty {
+				b.flushed++
+			}
+			dropped++
+		}
+		i++
+		el = next
+	}
+	return dropped
+}
+
 // Resize changes capacity, evicting LRU pages if shrinking. Serverless
 // engines resize the buffer when memory scales. Returns the number of
 // dirty pages evicted (requiring writeback).
