@@ -14,7 +14,11 @@ import (
 	"testing"
 	"time"
 
+	"cloudybench/internal/cdb"
+	"cloudybench/internal/core"
+	"cloudybench/internal/evaluator"
 	"cloudybench/internal/experiments"
+	"cloudybench/internal/obs"
 )
 
 // benchScale compresses the experiment windows further than Quick so the
@@ -97,3 +101,58 @@ func BenchmarkFigure9(b *testing.B) { runExperiment(b, "f9") }
 // BenchmarkAblations runs the design-choice ablations DESIGN.md calls out:
 // parallel replay, the remote buffer pool, and redo pushdown.
 func BenchmarkAblations(b *testing.B) { runExperiment(b, "ablations") }
+
+// benchOLTPCell runs one small OLTP cell with the given tracer — the
+// substrate for the tracer-overhead pair below. The two benchmarks run the
+// identical simulation; comparing their ns/op (baseline in BENCH_trace.json)
+// bounds the tracing tax, and the nil-sink variant's allocs/op guards the
+// zero-cost-by-default promise at the whole-run level.
+func benchOLTPCell(b *testing.B, tr *obs.Tracer) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := evaluator.RunOLTP(evaluator.OLTPConfig{
+			Kind: cdb.CDB1, Mix: core.MixReadWrite, Concurrency: 16,
+			Warmup: 200 * time.Millisecond, Measure: 800 * time.Millisecond,
+			Seed: 42, Tracer: tr,
+		})
+		if res.TPS <= 0 {
+			b.Fatal("zero TPS")
+		}
+		b.ReportMetric(res.TPS, "virtual_tps")
+	}
+}
+
+// BenchmarkTraceOff measures the OLTP cell with tracing disabled (nil
+// tracer): the baseline every instrumented hot path must stay on.
+func BenchmarkTraceOff(b *testing.B) { benchOLTPCell(b, nil) }
+
+// BenchmarkTraceOn measures the same cell with the tracer attached to a
+// counting sink — the full cost of span recording and aggregation.
+func BenchmarkTraceOn(b *testing.B) {
+	benchOLTPCell(b, obs.NewTracer("cdb1", &obs.CountSink{}))
+}
+
+// BenchmarkTracerRecord microbenchmarks the span hot path itself: nil
+// tracer (the off switch — must not allocate) vs an attached tracer with an
+// open transaction trace.
+func BenchmarkTracerRecord(b *testing.B) {
+	b.Run("nil", func(b *testing.B) {
+		b.ReportAllocs()
+		var tr *obs.Tracer
+		key := new(int)
+		for i := 0; i < b.N; i++ {
+			tr.Record(key, obs.KindCPU, 0, time.Millisecond)
+		}
+	})
+	b.Run("attached", func(b *testing.B) {
+		b.ReportAllocs()
+		tr := obs.NewTracer("bench", nil)
+		key := new(int)
+		tr.StartTxn(key, "T1", 0)
+		for i := 0; i < b.N; i++ {
+			tr.Record(key, obs.KindCPU, 0, time.Millisecond)
+		}
+		tr.FinishTxn(key, "commit", time.Millisecond)
+	})
+}

@@ -59,6 +59,8 @@ Commands:
 Flags for run:
   -scale quick|paper       experiment scale (default quick)
   -o FILE                  also write the report to FILE
+  -trace DIR               write JSONL spans + Prometheus snapshot to DIR
+                           (trace-aware experiments, e.g. "oltp")
 
 Experiment ids correspond to the paper's tables and figures.`)
 }
@@ -97,6 +99,7 @@ func runExperiments(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	scaleName := fs.String("scale", "quick", "experiment scale: quick or paper")
 	outFile := fs.String("o", "", "also write the report to this file")
+	traceDir := fs.String("trace", "", "write JSONL trace spans and a Prometheus metrics snapshot to this directory (trace-aware experiments)")
 
 	// Accept ids before flags: split args into ids and flag-ish tail.
 	var ids []string
@@ -118,6 +121,7 @@ func runExperiments(args []string) error {
 	if !ok {
 		return fmt.Errorf("unknown scale %q (quick or paper)", *scaleName)
 	}
+	sc.TraceDir = *traceDir
 
 	var out strings.Builder
 	for _, id := range ids {

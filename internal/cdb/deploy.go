@@ -9,6 +9,7 @@ import (
 	"cloudybench/internal/core"
 	"cloudybench/internal/netsim"
 	"cloudybench/internal/node"
+	"cloudybench/internal/obs"
 	"cloudybench/internal/pricing"
 	"cloudybench/internal/replication"
 	"cloudybench/internal/sim"
@@ -43,6 +44,10 @@ type Options struct {
 	// this to slot compression so scaling behaviour keeps its shape; 0 or
 	// 1 leaves the profile cadences untouched.
 	CadenceScale float64
+	// Tracer, if non-nil, attaches the observability tracer to every node,
+	// network link, replication stream, and the cluster's fail-over path.
+	// Nil (the default) deploys with tracing compiled out of the hot path.
+	Tracer *obs.Tracer
 }
 
 // Bool is a helper for Options.Serverless.
@@ -113,6 +118,7 @@ func Deploy(s *sim.Sim, prof Profile, opts Options) (*Deployment, error) {
 			MemoryBytes: bufBytes,
 			OpCPU:       prof.OpCPU,
 			TxnCPU:      prof.TxnCPU,
+			Trace:       opts.Tracer,
 		}
 		if serverless {
 			// A serverless instance idles at its minimum allocation and
@@ -156,8 +162,10 @@ func Deploy(s *sim.Sim, prof Profile, opts Options) (*Deployment, error) {
 	factory := func(target *node.Node) *replication.Stream {
 		cfg := prof.Replication
 		cfg.Name = fmt.Sprintf("%s->%s", prof.Kind, target.Name)
+		cfg.Tracer = opts.Tracer
 		if cfg.Link == nil && !prof.LocalStorage {
 			cfg.Link = netsim.NewLink(s, prof.Fabric, prof.NetGbps)
+			cfg.Link.SetTracer(opts.Tracer)
 			d.links = append(d.links, cfg.Link)
 		}
 		st := replication.NewStream(s, cfg, target)
@@ -172,6 +180,12 @@ func Deploy(s *sim.Sim, prof Profile, opts Options) (*Deployment, error) {
 		return st
 	}
 	d.Cluster = cluster.New(s, string(prof.Kind), prof.Failover, rw, replicas, factory)
+	d.Cluster.SetTracer(opts.Tracer)
+	if opts.Tracer != nil {
+		for _, l := range d.links {
+			l.SetTracer(opts.Tracer)
+		}
+	}
 
 	if serverless {
 		cfg := *prof.Autoscale

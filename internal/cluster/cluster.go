@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"cloudybench/internal/node"
+	"cloudybench/internal/obs"
 	"cloudybench/internal/replication"
 	"cloudybench/internal/sim"
 	"cloudybench/internal/storage"
@@ -94,6 +95,20 @@ type Cluster struct {
 
 	timeline []PhaseEvent
 	rrNext   int
+	trace    *obs.Tracer
+}
+
+// SetTracer attaches (or, with nil, detaches) the observability tracer.
+// Fail-over phases are then recorded as background storage-replay spans
+// under the "failover" activity, phase name in the span detail.
+func (c *Cluster) SetTracer(t *obs.Tracer) { c.trace = t }
+
+// tracePhase records one fail-over phase interval on the tracer (no-op when
+// tracing is off).
+func (c *Cluster) tracePhase(phase string, start, end time.Duration) {
+	if c.trace != nil {
+		c.trace.RecordBG("failover", obs.KindStorageReplay, phase, start, end)
+	}
 }
 
 // New builds a cluster from a read-write node and replicas. factory may be
@@ -215,7 +230,9 @@ func (c *Cluster) restartInPlace(p *sim.Proc, m *Member) {
 	if m.Role == RO && c.cfg.RORestartServiceTime > 0 {
 		wait = c.cfg.RORestartServiceTime
 	}
+	t0 := c.S.Elapsed()
 	p.Sleep(wait)
+	c.tracePhase(fmt.Sprintf("%s restart recovery", m.Role), t0, c.S.Elapsed())
 	m.Node.SetState(node.Running)
 	c.mark(fmt.Sprintf("%s service restored", m.Role))
 	c.rampUp(m.Node)
@@ -270,15 +287,19 @@ func (c *Cluster) promoteFailover(p *sim.Proc, old *Member) {
 	// Prepare: cluster manager notifies all nodes to refuse requests and
 	// collects the latest page/checkpoint LSNs.
 	c.mark("prepare: refuse requests, collect LSN")
+	t0 := c.S.Elapsed()
 	for _, m := range c.members {
 		m.Node.SetState(node.Down)
 	}
 	p.Sleep(c.cfg.PreparePhase)
+	c.tracePhase("prepare", t0, c.S.Elapsed())
 
 	// Switch over: promote the RO; the old RW cleans up against the
 	// remote buffer pool and will restart as an RO.
 	c.mark("switch-over: promote RO to RW'")
+	t0 = c.S.Elapsed()
 	p.Sleep(c.cfg.SwitchPhase)
+	c.tracePhase("switch-over", t0, c.S.Elapsed())
 	if target.Stream != nil {
 		target.Stream.Stop()
 		target.Stream = nil
@@ -291,7 +312,9 @@ func (c *Cluster) promoteFailover(p *sim.Proc, old *Member) {
 	// Recovering: the new RW rebuilds active transactions and rolls back
 	// uncommitted work by scanning undo.
 	c.mark("recovering: scan undo, rollback uncommitted")
+	t0 = c.S.Elapsed()
 	p.Sleep(c.cfg.RecoverPhase)
+	c.tracePhase("recover", t0, c.S.Elapsed())
 
 	// New RW serves (ramping while it rebuilds), and the old RW rejoins
 	// as a replica via a fresh stream.

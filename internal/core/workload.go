@@ -9,6 +9,7 @@ import (
 
 	"cloudybench/internal/engine"
 	"cloudybench/internal/node"
+	"cloudybench/internal/obs"
 	"cloudybench/internal/rng"
 	"cloudybench/internal/sim"
 )
@@ -84,6 +85,9 @@ type Config struct {
 	// RetryBackoff is the client pause after a failed request (node down),
 	// matching a driver's reconnect loop. Default 100 ms.
 	RetryBackoff time.Duration
+	// Tracer, if non-nil, opens a trace per transaction attempt and records
+	// the retry backoff as a fault-retry span. Nil disables tracing.
+	Tracer *obs.Tracer
 }
 
 // Runner drives a workload at a runtime-variable concurrency: the
@@ -171,21 +175,38 @@ type worker struct {
 func (w *worker) run(p *sim.Proc) {
 	cfg := &w.r.cfg
 	weights := cfg.Mix.weights()
+	tr := cfg.Tracer
 	for {
 		if w.r.stopped || w.idx >= w.r.target {
 			return
 		}
 		typ := TxnType(w.src.PickWeighted(weights) + 1)
 		start := p.Elapsed()
+		if tr != nil {
+			tr.StartTxn(p, typ.String(), start)
+		}
 		err := w.execute(p, typ)
 		switch {
 		case err == nil:
-			cfg.Collector.RecordCommit(typ, p.Elapsed(), p.Elapsed()-start)
+			end := p.Elapsed()
+			tr.FinishTxn(p, "commit", end)
+			cfg.Collector.RecordCommit(typ, end, end-start)
 		case errors.Is(err, node.ErrNodeDown), errors.Is(err, node.ErrIOFault):
 			cfg.Collector.RecordError(p.Elapsed())
-			p.Sleep(cfg.RetryBackoff)
+			if tr == nil {
+				p.Sleep(cfg.RetryBackoff)
+			} else {
+				// The backoff is client-observed retry penalty: keep the
+				// trace open across it so the fault-retry span lands on the
+				// failed attempt's breakdown.
+				t0 := p.Elapsed()
+				p.Sleep(cfg.RetryBackoff)
+				tr.Record(p, obs.KindFaultRetry, t0, p.Elapsed())
+				tr.FinishTxn(p, "error", p.Elapsed())
+			}
 		default:
 			cfg.Collector.RecordError(p.Elapsed())
+			tr.FinishTxn(p, "error", p.Elapsed())
 		}
 	}
 }

@@ -56,6 +56,13 @@ type LockTable struct {
 
 	waits    int64 // lock acquisitions that had to wait
 	timeouts int64
+
+	// OnWait, if set, observes every lock acquisition that actually
+	// blocked: it runs on the waiter's process after the wait resolves
+	// (granted or timed out) with the wait's virtual-time interval. Like
+	// the DB Observer it is a pure callback — implementations must not
+	// sleep or block, so attaching one cannot perturb the lock schedule.
+	OnWait func(p *sim.Proc, txn uint64, key string, start, end time.Duration)
 }
 
 // NewLockTable returns a lock table bound to the simulation with the
@@ -107,6 +114,10 @@ func (lt *LockTable) Acquire(p *sim.Proc, txn uint64, key string, mode LockMode)
 		st.queue = append(st.queue, req)
 	}
 	lt.waits++
+	var waitStart time.Duration
+	if lt.OnWait != nil {
+		waitStart = lt.s.Elapsed()
+	}
 	// Timeout watcher: marks the request dead if it waits too long.
 	lt.s.Go("lock-timeout", func(w *sim.Proc) {
 		w.Sleep(lt.timeout)
@@ -125,6 +136,9 @@ func (lt *LockTable) Acquire(p *sim.Proc, txn uint64, key string, mode LockMode)
 	})
 	for !req.granted && !req.timeout {
 		req.cond.Wait(p)
+	}
+	if lt.OnWait != nil {
+		lt.OnWait(p, txn, key, waitStart, lt.s.Elapsed())
 	}
 	if req.timeout {
 		return ErrLockTimeout

@@ -12,6 +12,11 @@ import "time"
 // single-runnable discipline, so their relative order is deterministic and
 // implementations need no locking. A nil-row before-image means the key did
 // not exist; a nil after-image means the write was a delete.
+//
+// The same pattern extends to resource waits: LockTable.OnWait reports
+// lock-wait intervals to whoever attached it (the node layer adapts it to
+// the observability tracer), keeping the engine free of any dependency on
+// the obs package.
 type Observer interface {
 	OnRead(at time.Duration, txn uint64, table string, key Key, row Row)
 	OnWrite(at time.Duration, txn uint64, table string, key Key, before, after Row)

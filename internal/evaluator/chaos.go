@@ -7,6 +7,7 @@ import (
 	"cloudybench/internal/chaos"
 	"cloudybench/internal/check"
 	"cloudybench/internal/core"
+	"cloudybench/internal/obs"
 	"cloudybench/internal/sim"
 )
 
@@ -30,6 +31,10 @@ type ChaosConfig struct {
 	// dropping every n-th shipped record — the convergence checker must
 	// FAIL. Test-only: proves the harness has teeth.
 	BreakReplayEveryNth int
+	// Tracer, if non-nil, records per-transaction stage traces through the
+	// gauntlet. Attaching it must not change the verdict sheet: the chaos
+	// determinism test asserts byte-identical reports with tracing on/off.
+	Tracer *obs.Tracer
 }
 
 func (c ChaosConfig) withDefaults() ChaosConfig {
@@ -85,6 +90,7 @@ func RunChaos(cfg ChaosConfig) ChaosResult {
 	d := cdb.MustDeploy(s, prof, cdb.Options{
 		SF: cfg.SF, Seed: cfg.Seed, Replicas: 1, PreWarm: true,
 		Serverless: cdb.Bool(false),
+		Tracer:     cfg.Tracer,
 	})
 
 	rec := check.NewRecorder()
@@ -106,6 +112,7 @@ func RunChaos(cfg ChaosConfig) ChaosResult {
 		Name: "chaos", Seed: cfg.Seed, Mix: cfg.Mix,
 		Write: d.RW, Read: d.ReadNode,
 		Collector: col,
+		Tracer:    cfg.Tracer,
 	})
 
 	var quiesce time.Duration

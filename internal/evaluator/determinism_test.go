@@ -3,11 +3,13 @@ package evaluator
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
 	"cloudybench/internal/cdb"
 	"cloudybench/internal/core"
+	"cloudybench/internal/obs"
 )
 
 // TestEvaluatorRunsAreDeterministic re-runs the same configuration twice
@@ -42,18 +44,29 @@ func TestEvaluatorRunsAreDeterministic(t *testing.T) {
 
 // TestCrossGOMAXPROCSDeterminism runs the quickstart-scale measurement at
 // GOMAXPROCS=1 and GOMAXPROCS=8 with the same seed and demands byte-identical
-// rendered metrics. The DES kernel's single-runnable discipline means Go's
-// scheduler must have no influence on virtual time — this is the test that
-// catches an accidental dependency on real parallelism.
+// rendered metrics — with the tracer attached, so the observability layer is
+// held to the same standard: trace counts, span aggregation, and the
+// Prometheus snapshot must not depend on real parallelism. The DES kernel's
+// single-runnable discipline means Go's scheduler must have no influence on
+// virtual time — this is the test that catches an accidental dependency on
+// real parallelism.
 func TestCrossGOMAXPROCSDeterminism(t *testing.T) {
 	render := func() string {
+		var counts obs.CountSink
+		tr := obs.NewTracer("cdb1", &counts)
 		o := RunOLTP(OLTPConfig{
 			Kind: cdb.CDB1, Mix: core.MixReadWrite, Concurrency: 24,
 			Warmup: 500 * time.Millisecond, Measure: time.Second, Seed: 7,
+			Tracer: tr,
 		})
 		c := RunChaos(ChaosConfig{Kind: cdb.CDB1, Span: 4 * time.Second, Concurrency: 4, Seed: 7})
-		return fmt.Sprintf("tps=%v p50=%v p99=%v hit=%v cost=%v | %s",
-			o.TPS, o.P50, o.P99, o.HitRatio, o.CostPerMin.Total(), chaosFingerprint(c))
+		var prom strings.Builder
+		if err := obs.WritePrometheus(&prom, tr.Agg()); err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("tps=%v p50=%v p99=%v hit=%v cost=%v traces=%d spans=%d | %s\n%s",
+			o.TPS, o.P50, o.P99, o.HitRatio, o.CostPerMin.Total(),
+			counts.Traces, counts.Spans, chaosFingerprint(c), prom.String())
 	}
 	prev := runtime.GOMAXPROCS(1)
 	one := render()
@@ -62,5 +75,35 @@ func TestCrossGOMAXPROCSDeterminism(t *testing.T) {
 	runtime.GOMAXPROCS(prev)
 	if one != eight {
 		t.Fatalf("metric output differs across GOMAXPROCS:\nP=1: %s\nP=8: %s", one, eight)
+	}
+}
+
+// TestTracingDoesNotPerturbResults attaches the tracer to the chaos gauntlet
+// and the OLTP cell and demands byte-identical verdicts and metrics versus
+// an untraced run of the same seed: recording spans must be a pure
+// observation, never a virtual-time side effect (obs determinism rule 2).
+func TestTracingDoesNotPerturbResults(t *testing.T) {
+	chaosRun := func(tr *obs.Tracer) string {
+		return chaosFingerprint(RunChaos(ChaosConfig{
+			Kind: cdb.CDB2, Span: 4 * time.Second, Concurrency: 4, Seed: 7,
+			Tracer: tr,
+		}))
+	}
+	off := chaosRun(nil)
+	on := chaosRun(obs.NewTracer("cdb2", &obs.CountSink{}))
+	if off != on {
+		t.Fatalf("chaos verdict sheet differs with tracing attached:\noff: %s\non:  %s", off, on)
+	}
+
+	oltpRun := func(tr *obs.Tracer) string {
+		o := RunOLTP(OLTPConfig{
+			Kind: cdb.RDS, Mix: core.MixReadWrite, Concurrency: 16,
+			Warmup: 500 * time.Millisecond, Measure: time.Second, Seed: 7,
+			Tracer: tr,
+		})
+		return fmt.Sprintf("tps=%v p50=%v p99=%v hit=%v", o.TPS, o.P50, o.P99, o.HitRatio)
+	}
+	if off, on := oltpRun(nil), oltpRun(obs.NewTracer("rds", nil)); off != on {
+		t.Fatalf("OLTP metrics differ with tracing attached:\noff: %s\non:  %s", off, on)
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"cloudybench/internal/cdb"
 	"cloudybench/internal/core"
 	"cloudybench/internal/metrics"
+	"cloudybench/internal/obs"
 	"cloudybench/internal/pricing"
 	"cloudybench/internal/sim"
 )
@@ -38,6 +39,9 @@ type OLTPConfig struct {
 	// BufferBytes overrides the profile buffer (Figure 8).
 	BufferBytes int64
 	Seed        int64
+	// Tracer, if non-nil, records per-transaction stage traces during the
+	// run (both warmup and measure windows). Nil runs untraced at zero cost.
+	Tracer *obs.Tracer
 }
 
 // NoReplicas requests a deployment without read-only nodes.
@@ -88,6 +92,7 @@ func RunOLTP(cfg OLTPConfig) OLTPResult {
 		BufferBytes: cfg.BufferBytes, PreWarm: true,
 		// Throughput evaluation uses the provisioned (fixed) size.
 		Serverless: cdb.Bool(false),
+		Tracer:     cfg.Tracer,
 	})
 	col := core.NewCollector()
 	r := core.NewRunner(s, core.Config{
@@ -95,6 +100,7 @@ func RunOLTP(cfg OLTPConfig) OLTPResult {
 		Distribution: cfg.Distribution,
 		Write:        d.RW, Read: d.ReadNode,
 		Collector: col,
+		Tracer:    cfg.Tracer,
 	})
 	s.Go("ctl", func(p *sim.Proc) {
 		r.SetConcurrency(cfg.Concurrency)

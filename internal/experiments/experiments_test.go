@@ -27,7 +27,7 @@ var tiny = Scale{
 }
 
 func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
-	want := []string{"ablations", "chaos", "f5", "f6", "f7", "f8", "f9", "lag", "t5", "t6", "t7", "t8", "t9"}
+	want := []string{"ablations", "chaos", "f5", "f6", "f7", "f8", "f9", "lag", "oltp", "t5", "t6", "t7", "t8", "t9"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("ids = %v", got)

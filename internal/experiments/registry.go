@@ -39,6 +39,8 @@ var registry = map[string]struct {
 		Ablations},
 	"chaos": {"Chaos gauntlet — ACID invariants under injected faults, all SUTs",
 		func(sc Scale) string { out, _ := Chaos(sc); return out }},
+	"oltp": {"Stage profile — traced OLTP run with per-SUT virtual-time stage breakdown (honours --trace)",
+		func(sc Scale) string { out, _ := OLTPTrace(sc); return out }},
 }
 
 // IDs returns all experiment ids in sorted order.

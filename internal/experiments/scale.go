@@ -47,6 +47,12 @@ type Scale struct {
 	ChaosSpan time.Duration
 	ChaosConc int
 
+	// TraceDir, when non-empty, makes trace-aware experiments (the "oltp"
+	// stage-profile run) write JSONL span files and a Prometheus-text
+	// metrics snapshot into the directory (created if missing). Empty
+	// disables file emission; the stage-breakdown tables still render.
+	TraceDir string
+
 	Seed int64
 }
 

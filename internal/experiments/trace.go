@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"cloudybench/internal/core"
+	"cloudybench/internal/evaluator"
+	"cloudybench/internal/obs"
+	"cloudybench/internal/report"
+)
+
+// OLTPTrace runs one read-write OLTP cell per SUT with the virtual-time
+// tracer attached and renders each system's stage breakdown — where a
+// transaction's virtual time actually goes (CPU, lock waits, page IO, WAL
+// appends, network hops, checkpoint interference). With sc.TraceDir set it
+// additionally writes trace_<sut>.jsonl span files and one combined
+// metrics.prom Prometheus-text snapshot into the directory.
+//
+// This is the paper's "why is SUT X slower" companion to Figure 5: the TPS
+// tables say CDB2 trails CDB1; the stage breakdown shows the extra log-hop
+// and page-service time that explains it.
+func OLTPTrace(sc Scale) (string, []*obs.StageAgg) {
+	var b strings.Builder
+	var aggs []*obs.StageAgg
+	emit := sc.TraceDir != ""
+	if emit {
+		if err := os.MkdirAll(sc.TraceDir, 0o755); err != nil {
+			return fmt.Sprintf("trace: creating %s: %v\n", sc.TraceDir, err), nil
+		}
+	}
+	conc := 50
+	if len(sc.Concurrency) > 0 {
+		conc = sc.Concurrency[0]
+	}
+	for _, kind := range SUTs {
+		var sink obs.Sink
+		var file *os.File
+		var jsonl *obs.JSONLSink
+		if emit {
+			path := filepath.Join(sc.TraceDir, fmt.Sprintf("trace_%s.jsonl", kind))
+			f, err := os.Create(path)
+			if err != nil {
+				return fmt.Sprintf("trace: creating %s: %v\n", path, err), nil
+			}
+			file = f
+			jsonl = obs.NewJSONLSink(f)
+			sink = jsonl
+		}
+		tr := obs.NewTracer(string(kind), sink)
+		res := evaluator.RunOLTP(evaluator.OLTPConfig{
+			Kind: kind, SF: 1, Mix: core.MixReadWrite,
+			Concurrency: conc,
+			Warmup:      sc.Warmup, Measure: sc.Measure,
+			Seed:   sc.Seed,
+			Tracer: tr,
+		})
+		if file != nil {
+			if err := jsonl.Err(); err != nil {
+				return fmt.Sprintf("trace: writing %s spans: %v\n", kind, err), nil
+			}
+			if err := file.Close(); err != nil {
+				return fmt.Sprintf("trace: closing %s spans: %v\n", kind, err), nil
+			}
+		}
+		agg := tr.Agg()
+		aggs = append(aggs, agg)
+		fmt.Fprintf(&b, "%s: TPS=%s p50=%s p99=%s\n\n",
+			kind, report.F(res.TPS), report.Dur(res.P50), report.Dur(res.P99))
+		b.WriteString(report.TxnSummary(agg))
+		b.WriteByte('\n')
+		b.WriteString(report.StageBreakdown(agg))
+		b.WriteByte('\n')
+	}
+	if emit {
+		path := filepath.Join(sc.TraceDir, "metrics.prom")
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Sprintf("trace: creating %s: %v\n", path, err), nil
+		}
+		werr := obs.WritePrometheus(f, aggs...)
+		cerr := f.Close()
+		if werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Sprintf("trace: writing %s: %v\n", path, werr), nil
+		}
+		fmt.Fprintf(&b, "Wrote %d JSONL trace files and metrics.prom to %s\n", len(SUTs), sc.TraceDir)
+	}
+	return b.String(), aggs
+}

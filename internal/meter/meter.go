@@ -5,6 +5,14 @@
 //
 // All timestamps are time.Duration offsets from the simulation epoch, which
 // keeps the package independent of any particular clock implementation.
+//
+// Percentile convention: Reservoir.Quantile uses the nearest-rank method —
+// the q-quantile of n sorted samples is the sample at rank ceil(q*n)
+// (1-based), with no interpolation between samples. q <= 0 returns the
+// minimum and q >= 1 the maximum, so reported percentiles are always values
+// that actually occurred. The observability layer's histogram quantiles
+// (internal/obs) follow the same convention at bucket granularity, so the
+// two substrates agree on p0/p100 and rank semantics.
 package meter
 
 import (
@@ -25,6 +33,11 @@ type Step struct {
 // vCores allocated to a node as an autoscaler resizes it.
 type Series struct {
 	steps []Step
+	// lastAt is the time of the most recent Set even when the set was
+	// compacted away as a no-op step. Without it, a no-op Set(10, v)
+	// followed by Set(5, w) would pass the backwards-time check against
+	// the surviving step and silently rewrite history from t=5.
+	lastAt time.Duration
 }
 
 // NewSeries returns a series with the given initial value from time zero.
@@ -35,12 +48,20 @@ func NewSeries(initial float64) *Series {
 // Set records a new value starting at time at. Times must be non-decreasing;
 // setting again at the same instant overwrites.
 func (s *Series) Set(at time.Duration, v float64) {
-	last := &s.steps[len(s.steps)-1]
-	if at < last.At {
-		panic(fmt.Sprintf("meter: Series.Set time going backwards: %v < %v", at, last.At))
+	if at < s.lastAt {
+		panic(fmt.Sprintf("meter: Series.Set time going backwards: %v < %v", at, s.lastAt))
 	}
+	s.lastAt = at
+	last := &s.steps[len(s.steps)-1]
 	if at == last.At {
 		last.V = v
+		// An overwrite back to the previous segment's value makes the
+		// step redundant: drop it so the compaction invariant (no two
+		// adjacent steps with equal values) survives overwrites and
+		// Integral/At agree with the steps a caller observes.
+		if n := len(s.steps); n >= 2 && s.steps[n-2].V == v {
+			s.steps = s.steps[:n-1]
+		}
 		return
 	}
 	if last.V == v {

@@ -59,6 +59,59 @@ func TestSeriesBackwardsTimePanics(t *testing.T) {
 	s.Set(sec(5), 3)
 }
 
+func TestSeriesBackwardsAfterCompactedSetPanics(t *testing.T) {
+	// Regression: a no-op Set(10, v) is compacted away, but its time must
+	// still arm the backwards check — otherwise Set(5, w) would silently
+	// rewrite [5,10) history the caller had already asserted was v.
+	s := NewSeries(5)
+	s.Set(sec(10), 5) // compacted: no new step
+	if n := len(s.Steps()); n != 1 {
+		t.Fatalf("steps = %d, want 1 (no-op compacted)", n)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("backwards Set after compacted no-op did not panic")
+		}
+	}()
+	s.Set(sec(5), 7)
+}
+
+func TestSeriesSetOverwriteAtSegmentBoundary(t *testing.T) {
+	// Set, overwrite at the same instant, then query across the boundary:
+	// Integral and At must agree with the final overwritten value.
+	s := NewSeries(2)
+	s.Set(sec(10), 8)
+	s.Set(sec(10), 4) // overwrite at the boundary
+	if got := s.At(sec(10)); got != 4 {
+		t.Fatalf("At(10s) = %v, want 4", got)
+	}
+	if got := s.At(sec(10) - 1); got != 2 {
+		t.Fatalf("At(10s-1ns) = %v, want 2", got)
+	}
+	// [0,10): 2*10 = 20; [10,20): 4*10 = 40.
+	if got := s.Integral(0, sec(20)); !almost(got, 60) {
+		t.Fatalf("Integral(0,20s) = %v, want 60", got)
+	}
+	// Overwriting back to the prior segment's value must drop the
+	// now-redundant step and keep Integral consistent.
+	s.Set(sec(10), 2)
+	if n := len(s.Steps()); n != 1 {
+		t.Fatalf("steps = %d, want 1 (redundant boundary step dropped)", n)
+	}
+	if got := s.Integral(0, sec(20)); !almost(got, 40) {
+		t.Fatalf("Integral after overwrite-to-prior = %v, want 40", got)
+	}
+	// The dropped step's time still guards against backwards Sets, and a
+	// later distinct value still appends.
+	s.Set(sec(15), 9)
+	if got := s.At(sec(12)); got != 2 {
+		t.Fatalf("At(12s) = %v, want 2", got)
+	}
+	if got := s.At(sec(15)); got != 9 {
+		t.Fatalf("At(15s) = %v, want 9", got)
+	}
+}
+
 func TestSeriesIntegralAndAvg(t *testing.T) {
 	s := NewSeries(4)
 	s.Set(sec(10), 8)
@@ -214,6 +267,52 @@ func TestReservoirQuantiles(t *testing.T) {
 	}
 	if got := r.Quantile(1); got != 100*time.Millisecond {
 		t.Fatalf("p100 = %v, want 100ms", got)
+	}
+}
+
+func TestReservoirEmptyAndSingleSample(t *testing.T) {
+	r := NewReservoir()
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := r.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	r.Add(7 * time.Millisecond)
+	// Nearest-rank with one sample: every quantile is that sample.
+	for _, q := range []float64{-1, 0, 0.01, 0.5, 0.99, 1, 2} {
+		if got := r.Quantile(q); got != 7*time.Millisecond {
+			t.Fatalf("single-sample Quantile(%v) = %v, want 7ms", q, got)
+		}
+	}
+	if got := r.Mean(); got != 7*time.Millisecond {
+		t.Fatalf("single-sample Mean = %v, want 7ms", got)
+	}
+}
+
+func TestReservoirNearestRankBoundaries(t *testing.T) {
+	// Nearest-rank: rank ceil(q*n), 1-based. With n=4 samples the exact
+	// boundary q=0.25 must return the 1st sample (ceil(1)=1), q=0.5 the
+	// 2nd, and the open edges clamp to min/max without interpolation.
+	r := NewReservoir()
+	for _, d := range []time.Duration{40, 10, 30, 20} {
+		r.Add(d * time.Millisecond)
+	}
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0, 10 * time.Millisecond},    // p0 = exact min
+		{0.25, 10 * time.Millisecond}, // ceil(0.25*4) = rank 1
+		{0.26, 20 * time.Millisecond}, // ceil(1.04) = rank 2
+		{0.5, 20 * time.Millisecond},  // ceil(2) = rank 2
+		{0.75, 30 * time.Millisecond}, // ceil(3) = rank 3
+		{0.99, 40 * time.Millisecond}, // ceil(3.96) = rank 4
+		{1, 40 * time.Millisecond},    // p100 = exact max
+	}
+	for _, c := range cases {
+		if got := r.Quantile(c.q); got != c.want {
+			t.Fatalf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
 	}
 }
 

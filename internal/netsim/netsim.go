@@ -9,6 +9,7 @@ package netsim
 import (
 	"time"
 
+	"cloudybench/internal/obs"
 	"cloudybench/internal/sim"
 )
 
@@ -55,6 +56,8 @@ type Link struct {
 	baseLatency time.Duration
 	baseGbps    float64
 	degraded    bool
+
+	trace *obs.Tracer
 }
 
 // NewLink creates a link of the given fabric with the given bandwidth. A
@@ -77,6 +80,11 @@ func (l *Link) WithLatency(d time.Duration) *Link {
 	l.latency = d
 	return l
 }
+
+// SetTracer attaches (or, with nil, detaches) the observability tracer.
+// Every blocking transfer then records a net-hop span on the sending
+// process's active trace.
+func (l *Link) SetTracer(t *obs.Tracer) { l.trace = t }
 
 // Degrade is the chaos-injection hook for network faults: it adds
 // extraLatency to every transfer and scales the provisioned bandwidth by
@@ -136,8 +144,16 @@ func (l *Link) Send(p *sim.Proc, bytes int) time.Duration {
 		bytes = 0
 	}
 	l.bytes += int64(bytes)
+	tr := l.trace
+	var t0 time.Duration
+	if tr != nil {
+		t0 = p.Elapsed()
+	}
 	d := l.channel.Reserve(bytes) + l.latency
 	p.Sleep(d)
+	if tr != nil {
+		tr.Record(p, obs.KindNetHop, t0, p.Elapsed())
+	}
 	return d
 }
 

@@ -16,6 +16,7 @@ import (
 
 	"cloudybench/internal/engine"
 	"cloudybench/internal/meter"
+	"cloudybench/internal/obs"
 	"cloudybench/internal/sim"
 	"cloudybench/internal/storage"
 )
@@ -86,6 +87,11 @@ type Config struct {
 	// flushes all dirty pages through the backend (ARIES engines). Zero
 	// disables checkpointing (redo-pushdown architectures).
 	CheckpointInterval time.Duration
+
+	// Trace, if non-nil, records stage-level spans (CPU, lock waits, page
+	// IO, WAL appends) on the observability tracer. Nil disables tracing
+	// at zero cost on the request hot path.
+	Trace *obs.Tracer
 }
 
 // Node is one compute node.
@@ -115,8 +121,18 @@ type Node struct {
 	Cores *meter.Series
 	Mem   *meter.Series
 
+	// Trace is the observability tracer (nil = tracing off). It is read
+	// on every request-path operation, so instrumented methods snapshot it
+	// once and branch on nil rather than calling through.
+	Trace *obs.Tracer
+
 	checkpointEvery time.Duration
 	stopCheckpoint  bool
+	// checkpointActive marks the window in which the checkpointer is
+	// flushing: foreground page IO issued inside it is attributed to
+	// checkpoint-stall rather than page-read/page-write, which is what
+	// makes checkpoint interference visible in the stage breakdown.
+	checkpointActive bool
 
 	ioLatch               map[storage.PageID]*sim.Cond
 	pageReads, pageWrites int64
@@ -139,8 +155,16 @@ func New(s *sim.Sim, cfg Config, backend StorageBackend) *Node {
 		Cores:    meter.NewSeries(cfg.VCores),
 		Mem:      meter.NewSeries(float64(cfg.MemoryBytes) / (1 << 30)),
 		ioLatch:  make(map[storage.PageID]*sim.Cond),
+		Trace:    cfg.Trace,
 	}
 	n.stateCond = sim.NewCond(s)
+	if tr := cfg.Trace; tr != nil {
+		// Adapt the engine's lock-wait hook onto the tracer: the engine
+		// stays ignorant of obs, the tracer sees every blocked acquisition.
+		n.DB.Locks().OnWait = func(p *sim.Proc, txn uint64, key string, start, end time.Duration) {
+			tr.Record(p, obs.KindLockWait, start, end)
+		}
+	}
 	if cfg.SharedCPU != nil {
 		n.cpu = cfg.SharedCPU
 	} else {
@@ -226,6 +250,19 @@ func (n *Node) ChargeCPU(p *sim.Proc, d time.Duration) {
 	if d <= 0 {
 		return
 	}
+	tr := n.Trace
+	if tr == nil {
+		n.chargeCPU(p, d)
+		return
+	}
+	t0 := p.Elapsed()
+	n.chargeCPU(p, d)
+	tr.Record(p, obs.KindCPU, t0, p.Elapsed())
+}
+
+// chargeCPU is ChargeCPU's uninstrumented body; the span covers both the
+// queue wait for vCores and the stretched service time.
+func (n *Node) chargeCPU(p *sim.Proc, d time.Duration) {
 	for {
 		grain := int64(MilliPerCore)
 		if c := n.cpu.Capacity(); c < grain {
@@ -253,17 +290,48 @@ func (n *Node) ChargeCPU(p *sim.Proc, d time.Duration) {
 // the storage channel collapses under load (the classic miss storm).
 func (n *Node) ReadPage(p *sim.Proc, pg storage.PageID) {
 	n.pageReads++
+	n.pagedIn(p, pg, obs.KindPageRead)
+}
+
+// WritePage charges a page modification: same as a read plus dirtying.
+func (n *Node) WritePage(p *sim.Proc, pg storage.PageID) {
+	n.pageWrites++
+	n.pageReads++
+	n.pagedIn(p, pg, obs.KindPageWrite)
+	n.Buf.MarkDirty(pg)
+}
+
+// pagedIn brings a page into the buffer (see ReadPage), recording the miss
+// path as a span of the given kind. A fetch issued while the checkpointer
+// is mid-flush is attributed to checkpoint-stall instead: the IO channel
+// time it pays is checkpoint interference, not intrinsic page cost.
+func (n *Node) pagedIn(p *sim.Proc, pg storage.PageID, kind obs.Kind) {
+	tr := n.Trace
 	for {
 		if n.Buf.Pin(pg) {
 			return
 		}
 		latch, inFlight := n.ioLatch[pg]
 		if inFlight {
+			var t0 time.Duration
+			if tr != nil {
+				t0 = p.Elapsed()
+			}
 			latch.Wait(p)
+			if tr != nil {
+				tr.Record(p, obs.KindLatch, t0, p.Elapsed())
+			}
 			continue // re-check: the fetcher admitted the page
 		}
 		latch = sim.NewCond(n.S)
 		n.ioLatch[pg] = latch
+		var t0 time.Duration
+		if tr != nil {
+			t0 = p.Elapsed()
+			if n.checkpointActive {
+				kind = obs.KindCheckpointStall
+			}
+		}
 		n.faultGate(p)
 		n.Backend.FetchPage(p, pg)
 		_, dirty, ok := n.Buf.Admit(pg)
@@ -272,15 +340,11 @@ func (n *Node) ReadPage(p *sim.Proc, pg storage.PageID) {
 		if ok && dirty {
 			n.Backend.FlushPage(p, pg)
 		}
+		if tr != nil {
+			tr.Record(p, kind, t0, p.Elapsed())
+		}
 		return
 	}
-}
-
-// WritePage charges a page modification: same as a read plus dirtying.
-func (n *Node) WritePage(p *sim.Proc, pg storage.PageID) {
-	n.pageWrites++
-	n.ReadPage(p, pg)
-	n.Buf.MarkDirty(pg)
 }
 
 // checkpointLoop periodically flushes all dirty pages (ARIES engines). The
@@ -297,9 +361,19 @@ func (n *Node) checkpointLoop(p *sim.Proc) {
 			continue
 		}
 		dirty := n.Buf.FlushAll()
+		tr := n.Trace
+		var t0 time.Duration
+		if tr != nil && dirty > 0 {
+			t0 = p.Elapsed()
+		}
+		n.checkpointActive = true
 		for i := 0; i < dirty; i++ {
 			n.faultGate(p)
 			n.Backend.FlushPage(p, storage.PageID{})
+		}
+		n.checkpointActive = false
+		if tr != nil && dirty > 0 {
+			tr.RecordBG("checkpoint", obs.KindCheckpointStall, n.Name, t0, p.Elapsed())
 		}
 	}
 }
@@ -322,6 +396,7 @@ func (n *Node) Begin(p *sim.Proc) (*Tx, error) {
 	if err := n.AwaitRunning(p); err != nil {
 		return nil, err
 	}
+	n.Trace.SetNode(p, n.Name)
 	n.ChargeCPU(p, n.txnCPU)
 	if n.faultReject() {
 		// CPU was already charged, so the rejection consumed virtual
@@ -391,7 +466,14 @@ func (t *Tx) Delete(tbl *engine.Table, k engine.Key) error {
 // committed records to the replication hook.
 func (t *Tx) Commit() error {
 	if bytes := t.inner.WALBytes(); bytes > 0 {
-		t.n.Backend.WriteLog(t.p, bytes)
+		tr := t.n.Trace
+		if tr == nil {
+			t.n.Backend.WriteLog(t.p, bytes)
+		} else {
+			t0 := t.p.Elapsed()
+			t.n.Backend.WriteLog(t.p, bytes)
+			tr.Record(t.p, obs.KindWALAppend, t0, t.p.Elapsed())
+		}
 	}
 	recs, err := t.inner.Commit()
 	if err != nil {

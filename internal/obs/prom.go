@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WritePrometheus renders the given aggregations as a Prometheus
+// text-format (version 0.0.4) snapshot: span-duration summaries per
+// (sut, txn, kind), end-to-end transaction summaries, and outcome
+// counters. Series are emitted in sorted label order so two runs of the
+// same simulation produce byte-identical snapshots.
+//
+// The quantiles are over virtual time — this is a post-run snapshot of the
+// simulation's measurement substrate, not a live scrape endpoint.
+func WritePrometheus(w io.Writer, aggs ...*StageAgg) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	sec := func(ns int64) string {
+		return strconv.FormatFloat(float64(ns)/1e9, 'g', -1, 64)
+	}
+
+	p("# HELP cloudybench_span_virtual_seconds Virtual-time span durations by SUT, transaction, and span kind.\n")
+	p("# TYPE cloudybench_span_virtual_seconds summary\n")
+	for _, a := range aggs {
+		if a == nil {
+			continue
+		}
+		for _, r := range a.Rows() {
+			base := fmt.Sprintf("sut=%q,txn=%q,kind=%q", r.SUT, r.Txn, r.Kind.String())
+			p("cloudybench_span_virtual_seconds{%s,quantile=\"0.5\"} %s\n", base, sec(r.P50.Nanoseconds()))
+			p("cloudybench_span_virtual_seconds{%s,quantile=\"0.95\"} %s\n", base, sec(r.P95.Nanoseconds()))
+			p("cloudybench_span_virtual_seconds{%s,quantile=\"0.99\"} %s\n", base, sec(r.P99.Nanoseconds()))
+			p("cloudybench_span_virtual_seconds_sum{%s} %s\n", base, sec(r.Total.Nanoseconds()))
+			p("cloudybench_span_virtual_seconds_count{%s} %d\n", base, r.Count)
+		}
+	}
+
+	p("# HELP cloudybench_txn_virtual_seconds End-to-end transaction virtual time by SUT and transaction type.\n")
+	p("# TYPE cloudybench_txn_virtual_seconds summary\n")
+	for _, a := range aggs {
+		if a == nil {
+			continue
+		}
+		for _, r := range a.TxnRows() {
+			base := fmt.Sprintf("sut=%q,txn=%q", r.SUT, r.Txn)
+			p("cloudybench_txn_virtual_seconds{%s,quantile=\"0.5\"} %s\n", base, sec(r.P50.Nanoseconds()))
+			p("cloudybench_txn_virtual_seconds{%s,quantile=\"0.95\"} %s\n", base, sec(r.P95.Nanoseconds()))
+			p("cloudybench_txn_virtual_seconds{%s,quantile=\"0.99\"} %s\n", base, sec(r.P99.Nanoseconds()))
+			p("cloudybench_txn_virtual_seconds_sum{%s} %s\n", base, sec(r.Total.Nanoseconds()))
+			p("cloudybench_txn_virtual_seconds_count{%s} %d\n", base, r.Count)
+		}
+	}
+
+	p("# HELP cloudybench_txn_outcomes_total Transactions by SUT, transaction type, and outcome.\n")
+	p("# TYPE cloudybench_txn_outcomes_total counter\n")
+	for _, a := range aggs {
+		if a == nil {
+			continue
+		}
+		for _, r := range a.TxnRows() {
+			outcomes := make([]string, 0, len(r.Outcomes))
+			for o := range r.Outcomes {
+				outcomes = append(outcomes, o)
+			}
+			sort.Strings(outcomes)
+			for _, o := range outcomes {
+				p("cloudybench_txn_outcomes_total{sut=%q,txn=%q,outcome=%q} %d\n",
+					r.SUT, r.Txn, o, r.Outcomes[o])
+			}
+		}
+	}
+	return err
+}

@@ -20,6 +20,7 @@ import (
 	"cloudybench/internal/meter"
 	"cloudybench/internal/netsim"
 	"cloudybench/internal/node"
+	"cloudybench/internal/obs"
 	"cloudybench/internal/sim"
 	"cloudybench/internal/storage"
 )
@@ -49,6 +50,9 @@ type Config struct {
 	// checker has teeth (a deliberately-broken replica must FAIL); no SUT
 	// profile sets it.
 	DropEveryNth int
+	// Tracer, if non-nil, records replication-ship spans per shipped batch
+	// and storage-replay spans per replayed record as background activity.
+	Tracer *obs.Tracer
 }
 
 type envelope struct {
@@ -151,11 +155,19 @@ func (st *Stream) shipLoop(p *sim.Proc) {
 		for i := range batch {
 			bytes += batch[i].rec.Size()
 		}
+		tr := st.cfg.Tracer
+		var t0 time.Duration
+		if tr != nil {
+			t0 = p.Elapsed()
+		}
 		if st.cfg.Link != nil {
 			st.cfg.Link.Send(p, bytes)
 		}
 		for _, hop := range st.cfg.ExtraHops {
 			p.Sleep(hop)
+		}
+		if tr != nil {
+			tr.RecordBG("replication", obs.KindReplicationShip, st.cfg.Name, t0, p.Elapsed())
 		}
 		st.shipped += int64(len(batch))
 		for _, env := range batch {
@@ -191,7 +203,14 @@ func (st *Stream) replayLoop(p *sim.Proc, laneID int) {
 			cost = 0 // commit/begin markers replay for free
 		}
 		if cost > 0 {
-			p.Sleep(cost)
+			tr := st.cfg.Tracer
+			if tr == nil {
+				p.Sleep(cost)
+			} else {
+				t0 := p.Elapsed()
+				p.Sleep(cost)
+				tr.RecordBG("replication", obs.KindStorageReplay, st.cfg.Name, t0, p.Elapsed())
+			}
 		}
 		if n := st.cfg.DropEveryNth; n > 0 && env.rec.Type != storage.RecCommit {
 			st.dropCounter++

@@ -1,0 +1,67 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cloudybench/internal/obs"
+)
+
+// StageBreakdown renders the "virtual flame" table for one SUT: per
+// transaction type and span kind, how many spans were recorded, the total
+// virtual time spent, that kind's share of end-to-end transaction time, and
+// the p50/p95/p99 span durations. Background activity rows (checkpoint,
+// replication, failover) carry no share because they have no enclosing
+// transaction.
+func StageBreakdown(agg *obs.StageAgg) string {
+	t := NewTable(
+		fmt.Sprintf("Stage breakdown: %s (virtual time per span kind)", agg.SUT()),
+		"txn", "stage", "count", "total", "share", "p50", "p95", "p99",
+	)
+	for _, r := range agg.Rows() {
+		share := "-"
+		if r.Share > 0 {
+			share = fmt.Sprintf("%.1f%%", r.Share*100)
+		}
+		t.AddRow(
+			r.Txn, r.Kind.String(),
+			fmt.Sprintf("%d", r.Count),
+			Dur(r.Total), share,
+			Dur(r.P50), Dur(r.P95), Dur(r.P99),
+		)
+	}
+	return t.String()
+}
+
+// TxnSummary renders the end-to-end transaction latency table for one SUT:
+// per transaction type, count, total virtual time, quantiles, and outcomes.
+func TxnSummary(agg *obs.StageAgg) string {
+	t := NewTable(
+		fmt.Sprintf("Transactions: %s (end-to-end virtual time)", agg.SUT()),
+		"txn", "count", "total", "p50", "p95", "p99", "outcomes",
+	)
+	for _, r := range agg.TxnRows() {
+		var parts []string
+		for _, o := range sortedKeys(r.Outcomes) {
+			parts = append(parts, fmt.Sprintf("%s=%d", o, r.Outcomes[o]))
+		}
+		t.AddRow(
+			r.Txn,
+			fmt.Sprintf("%d", r.Count),
+			Dur(r.Total),
+			Dur(r.P50), Dur(r.P95), Dur(r.P99),
+			strings.Join(parts, " "),
+		)
+	}
+	return t.String()
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,71 @@
+package report
+
+import (
+	"testing"
+	"time"
+
+	"cloudybench/internal/obs"
+)
+
+// stageFixture builds a deterministic aggregation covering foreground
+// stages with shares, background activities without, and mixed outcomes.
+func stageFixture() *obs.StageAgg {
+	a := obs.NewStageAgg("cdb1")
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+	for i := 1; i <= 20; i++ {
+		a.AddSpan("T1-NewOrderline", obs.KindCPU, ms(i))
+		a.AddSpan("T1-NewOrderline", obs.KindWALAppend, ms(1))
+	}
+	for i := 1; i <= 5; i++ {
+		a.AddSpan("T2-OrderPayment", obs.KindLockWait, ms(10*i))
+		a.AddSpan("T2-OrderPayment", obs.KindPageRead, ms(2))
+	}
+	a.AddSpan("checkpoint", obs.KindCheckpointStall, ms(120))
+	a.AddSpan("replication", obs.KindStorageReplay, ms(3))
+	a.AddSpan("replication", obs.KindStorageReplay, ms(5))
+
+	// End-to-end transactions feeding the share denominators and TxnSummary.
+	feed := obs.NewTracer("cdb1", nil)
+	k := new(int)
+	for i := 0; i < 20; i++ {
+		feed.StartTxn(k, "T1-NewOrderline", 0)
+		feed.FinishTxn(k, "commit", ms(20))
+	}
+	for i := 0; i < 4; i++ {
+		feed.StartTxn(k, "T2-OrderPayment", 0)
+		feed.FinishTxn(k, "commit", ms(60))
+	}
+	feed.StartTxn(k, "T2-OrderPayment", 0)
+	feed.FinishTxn(k, "error", ms(100))
+	a.Merge(feed.Agg())
+	return a
+}
+
+func TestGoldenStageBreakdown(t *testing.T) {
+	golden(t, "stage", StageBreakdown(stageFixture()))
+}
+
+func TestGoldenTxnSummary(t *testing.T) {
+	golden(t, "txns", TxnSummary(stageFixture()))
+}
+
+func TestStageBreakdownShares(t *testing.T) {
+	out := StageBreakdown(stageFixture())
+	// Background activities render "-" in the share column; foreground
+	// stages render a percentage.
+	for _, want := range []string{"checkpoint-stall", "storage-replay", "%"} {
+		if !containsLine(out, want) {
+			t.Fatalf("breakdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func containsLine(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
