@@ -21,24 +21,11 @@ import (
 	"cloudybench/internal/obs"
 )
 
-// benchScale compresses the experiment windows further than Quick so the
-// whole suite of eleven artifacts completes in minutes.
-var benchScale = experiments.Scale{
-	Name:         "bench",
-	Warmup:       500 * time.Millisecond,
-	Measure:      1500 * time.Millisecond,
-	Concurrency:  []int{100},
-	SFs:          []int{1},
-	SlotLength:   3 * time.Second,
-	CostSlots:    6,
-	Tau:          110,
-	FailBaseline: 6 * time.Second,
-	FailTimeout:  45 * time.Second,
-	FailConc:     30,
-	LagDuration:  2500 * time.Millisecond,
-	LagConc:      6,
-	Seed:         42,
-}
+// benchScale is the shared "bench" scale (experiments.Bench): windows
+// compressed further than Quick so the whole suite of eleven artifacts
+// completes in seconds. The same scale is reachable from the CLI via
+// `cloudybench run all -scale bench`.
+var benchScale = experiments.Bench
 
 func runExperiment(b *testing.B, id string) {
 	b.Helper()

@@ -57,10 +57,13 @@ Commands:
   custom -props FILE       run a user-defined elasticity pattern from a props file
 
 Flags for run:
-  -scale quick|paper       experiment scale (default quick)
+  -scale quick|paper|bench experiment scale (default quick)
   -o FILE                  also write the report to FILE
   -trace DIR               write JSONL spans + Prometheus snapshot to DIR
                            (trace-aware experiments, e.g. "oltp")
+  -parallel N              fan experiment cells out over N cores
+                           (default 0 = all cores; 1 = sequential;
+                           the report is byte-identical either way)
 
 Experiment ids correspond to the paper's tables and figures.`)
 }
@@ -97,9 +100,10 @@ func list() error {
 
 func runExperiments(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
-	scaleName := fs.String("scale", "quick", "experiment scale: quick or paper")
+	scaleName := fs.String("scale", "quick", "experiment scale: quick, paper, or bench")
 	outFile := fs.String("o", "", "also write the report to this file")
 	traceDir := fs.String("trace", "", "write JSONL trace spans and a Prometheus metrics snapshot to this directory (trace-aware experiments)")
+	parallel := fs.Int("parallel", 0, "experiment cells run on this many cores (0 = all cores, 1 = sequential); output is identical either way")
 
 	// Accept ids before flags: split args into ids and flag-ish tail.
 	var ids []string
@@ -119,9 +123,10 @@ func runExperiments(args []string) error {
 	}
 	sc, ok := experiments.ScaleByName(*scaleName)
 	if !ok {
-		return fmt.Errorf("unknown scale %q (quick or paper)", *scaleName)
+		return fmt.Errorf("unknown scale %q (quick, paper, or bench)", *scaleName)
 	}
 	sc.TraceDir = *traceDir
+	experiments.SetParallelism(*parallel)
 
 	var out strings.Builder
 	for _, id := range ids {

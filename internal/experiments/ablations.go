@@ -25,13 +25,13 @@ import (
 
 // AblationReplay compares CDB3's replication lag with 1 vs N replay lanes.
 func AblationReplay(sc Scale) string {
-	measure := func(lanes int) time.Duration {
+	lanes := []int{1, cdb.ProfileFor(cdb.CDB3).Replication.Lanes}
+	runs := runCells(len(lanes), func(i int) time.Duration {
 		prof := cdb.ProfileFor(cdb.CDB3)
-		prof.Replication.Lanes = lanes
+		prof.Replication.Lanes = lanes[i]
 		return runLagWithProfile(sc, prof)
-	}
-	seq := measure(1)
-	par := measure(cdb.ProfileFor(cdb.CDB3).Replication.Lanes)
+	})
+	seq, par := runs[0], runs[1]
 	tbl := report.NewTable("Ablation — parallel log replay (CDB3, write-heavy)",
 		"Replay", "Mean update lag")
 	tbl.AddRow("sequential (1 lane)", report.Dur(seq))
@@ -73,17 +73,16 @@ func runLagWithProfile(sc Scale, prof cdb.Profile) time.Duration {
 // round trip (~tens of µs) instead of a storage-service fetch (~600 µs),
 // which shows up directly in p50 latency when the local buffer is small.
 func AblationRemoteBuffer(sc Scale) string {
-	run := func(remote bool) ablationOLTP {
+	runs := runCells(2, func(i int) ablationOLTP {
 		prof := cdb.ProfileFor(cdb.CDB4)
 		// Shrink the local buffer so the second tier actually matters
 		// (at SF1 the stock 10 GB local buffer absorbs everything).
-		if !remote {
+		if i == 1 {
 			prof.RemoteBufBytes = 0
 		}
 		return runOLTPWithProfile(sc, prof, 16<<20, true)
-	}
-	with := run(true)
-	without := run(false)
+	})
+	with, without := runs[0], runs[1]
 	tbl := report.NewTable("Ablation — remote buffer pool (CDB4, 16MB local buffer, RW)",
 		"Configuration", "TPS", "p50 latency", "p99 latency")
 	tbl.AddRow("local + remote pool (RDMA)", report.F(with.tps),
@@ -99,19 +98,18 @@ func AblationRemoteBuffer(sc Scale) string {
 // delete-heavy mix dirties pages across the whole table, so writeback and
 // checkpoints fight foreground traffic for the storage channel.
 func AblationRedoPushdown(sc Scale) string {
-	run := func(pushdown bool) ablationOLTP {
+	runs := runCells(2, func(i int) ablationOLTP {
 		prof := cdb.ProfileFor(cdb.CDB1)
-		prof.RedoPushdown = pushdown
-		if !pushdown {
+		prof.RedoPushdown = i == 0
+		if i == 1 {
 			// Classic engines must also checkpoint frequently.
 			prof.CheckpointEvery = 2 * time.Second
 		}
 		// Start cold so the buffer fills with freshly dirtied pages and
 		// eviction writeback engages within the measurement window.
 		return runOLTPWithProfile(sc, prof, 0, false)
-	}
-	with := run(true)
-	without := run(false)
+	})
+	with, without := runs[0], runs[1]
 	tbl := report.NewTable("Ablation — redo pushdown (CDB1, insert+delete mix)",
 		"Configuration", "TPS", "p50 latency", "p99 latency")
 	tbl.AddRow("redo pushed to storage (no writeback)", report.F(with.tps),
@@ -166,13 +164,18 @@ func runOLTPWithProfile(sc Scale, prof cdb.Profile, buffer int64, preWarm bool) 
 	}
 }
 
-// Ablations runs all three and concatenates their reports.
+// Ablations runs all three and concatenates their reports. The three
+// sections fan out as cells themselves (each of which fans out its own two
+// variant runs), so all six underlying simulations can occupy cores at once.
 func Ablations(sc Scale) string {
+	sections := []func(Scale) string{AblationReplay, AblationRemoteBuffer, AblationRedoPushdown}
+	parts := runCells(len(sections), func(i int) string { return sections[i](sc) })
 	var b strings.Builder
-	b.WriteString(AblationReplay(sc))
-	b.WriteString("\n")
-	b.WriteString(AblationRemoteBuffer(sc))
-	b.WriteString("\n")
-	b.WriteString(AblationRedoPushdown(sc))
+	for i, part := range parts {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		b.WriteString(part)
+	}
 	return b.String()
 }

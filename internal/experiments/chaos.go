@@ -15,15 +15,16 @@ import (
 // left behind. Deterministic: the same scale and seed reproduce the report
 // byte for byte.
 func Chaos(sc Scale) (string, []evaluator.ChaosResult) {
-	var results []evaluator.ChaosResult
+	results := runCells(len(SUTs), func(i int) evaluator.ChaosResult {
+		return evaluator.RunChaos(evaluator.ChaosConfig{
+			Kind: SUTs[i], Span: sc.ChaosSpan, Concurrency: sc.ChaosConc, Seed: sc.Seed,
+		})
+	})
 	tbl := report.NewTable("Chaos gauntlet — invariant verdicts under injected faults",
 		"System", "Verdict", "Commits", "Errors", "Faults", "TPS", "Quiesce")
 	var detail strings.Builder
-	for _, kind := range SUTs {
-		r := evaluator.RunChaos(evaluator.ChaosConfig{
-			Kind: kind, Span: sc.ChaosSpan, Concurrency: sc.ChaosConc, Seed: sc.Seed,
-		})
-		results = append(results, r)
+	for _, r := range results {
+		kind := r.Kind
 		verdict := "PASS"
 		if !r.Passed() {
 			verdict = "FAIL"

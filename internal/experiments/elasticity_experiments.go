@@ -15,20 +15,29 @@ import (
 // (execution plus scaling over the 10-slot costing window), and E1-Score
 // per SUT across the four elastic patterns.
 func Figure6(sc Scale) (string, []evaluator.ElasticityResult) {
-	var results []evaluator.ElasticityResult
+	var cfgs []evaluator.ElasticityConfig
+	for _, pat := range patterns.ElasticPatterns() {
+		for _, kind := range SUTs {
+			cfgs = append(cfgs, evaluator.ElasticityConfig{
+				Kind: kind, Pattern: pat, Mix: core.MixReadWrite,
+				Tau: sc.Tau, SlotLength: sc.SlotLength, CostSlots: sc.CostSlots,
+				Seed: sc.Seed,
+			})
+		}
+	}
+	results := runCells(len(cfgs), func(i int) evaluator.ElasticityResult {
+		return evaluator.RunElasticity(cfgs[i])
+	})
 	var b strings.Builder
 	b.WriteString("Figure 6 — Elasticity Evaluation (RW mix)\n\n")
+	i := 0
 	for _, pat := range patterns.ElasticPatterns() {
 		tbl := report.NewTable(
 			fmt.Sprintf("Pattern %s, concurrency %v", pat.Name, pat.Concurrency(sc.Tau)),
 			"System", "AvgTPS", "TotalCost", "ActualCost", "E1-Score")
 		for _, kind := range SUTs {
-			r := evaluator.RunElasticity(evaluator.ElasticityConfig{
-				Kind: kind, Pattern: pat, Mix: core.MixReadWrite,
-				Tau: sc.Tau, SlotLength: sc.SlotLength, CostSlots: sc.CostSlots,
-				Seed: sc.Seed,
-			})
-			results = append(results, r)
+			r := results[i]
+			i++
 			tbl.AddRow(string(kind), report.F(r.AvgTPS),
 				report.Money(r.TotalCost), report.Money(r.ActualCost), report.F(r.E1Score))
 		}
@@ -41,23 +50,35 @@ func Figure6(sc Scale) (string, []evaluator.ElasticityResult) {
 // TableVI regenerates the autoscaling detail: per-transition scaling time
 // and scaling cost for the three serverless SUTs.
 func TableVI(sc Scale) (string, []evaluator.ElasticityResult) {
-	var results []evaluator.ElasticityResult
-	var b strings.Builder
-	b.WriteString("Table VI — Scaling time and cost during autoscaling (serverless SUTs)\n\n")
+	var autoscaling []cdb.Kind
+	for _, kind := range SUTs {
+		if cdb.ProfileFor(kind).Autoscale != nil {
+			autoscaling = append(autoscaling, kind) // Table VI covers only the autoscaling SUTs
+		}
+	}
+	var cfgs []evaluator.ElasticityConfig
 	for _, pat := range patterns.ElasticPatterns() {
-		tbl := report.NewTable(
-			fmt.Sprintf("Pattern %s", pat.Name),
-			"System", "Transition", "ScalingTime", "ScalingCost")
-		for _, kind := range SUTs {
-			if cdb.ProfileFor(kind).Autoscale == nil {
-				continue // Table VI covers only the autoscaling SUTs
-			}
-			r := evaluator.RunElasticity(evaluator.ElasticityConfig{
+		for _, kind := range autoscaling {
+			cfgs = append(cfgs, evaluator.ElasticityConfig{
 				Kind: kind, Pattern: pat, Mix: core.MixReadWrite,
 				Tau: sc.Tau, SlotLength: sc.SlotLength, CostSlots: sc.CostSlots,
 				Seed: sc.Seed,
 			})
-			results = append(results, r)
+		}
+	}
+	results := runCells(len(cfgs), func(i int) evaluator.ElasticityResult {
+		return evaluator.RunElasticity(cfgs[i])
+	})
+	var b strings.Builder
+	b.WriteString("Table VI — Scaling time and cost during autoscaling (serverless SUTs)\n\n")
+	i := 0
+	for _, pat := range patterns.ElasticPatterns() {
+		tbl := report.NewTable(
+			fmt.Sprintf("Pattern %s", pat.Name),
+			"System", "Transition", "ScalingTime", "ScalingCost")
+		for _, kind := range autoscaling {
+			r := results[i]
+			i++
 			for _, tr := range r.Transitions {
 				tbl.AddRow(string(kind),
 					fmt.Sprintf("%d->%d", tr.FromCon, tr.ToCon),

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -24,6 +25,59 @@ var tiny = Scale{
 	LagDuration:  2 * time.Second,
 	LagConc:      4,
 	Seed:         42,
+}
+
+// mini shrinks every window to the determinism-test minimum: big enough to
+// exercise queueing, autoscaling transitions, and replication, small enough
+// to re-run the same experiment several times in one test.
+var mini = Scale{
+	Name:         "mini",
+	Warmup:       200 * time.Millisecond,
+	Measure:      600 * time.Millisecond,
+	Concurrency:  []int{8},
+	SFs:          []int{1},
+	SlotLength:   time.Second,
+	CostSlots:    3,
+	Tau:          12,
+	FailBaseline: 2 * time.Second,
+	FailTimeout:  20 * time.Second,
+	FailConc:     8,
+	LagDuration:  time.Second,
+	LagConc:      3,
+	ChaosSpan:    3 * time.Second,
+	ChaosConc:    3,
+	Seed:         42,
+}
+
+// TestParallelCellsAreByteIdentical is the parallel cell runner's
+// determinism contract: the same experiment must render byte-identically
+// with sequential cells, with a worker pool, and regardless of how many OS
+// threads Go may schedule underneath (GOMAXPROCS). This extends the
+// evaluator-level cross-GOMAXPROCS test up through the fan-out layer.
+func TestParallelCellsAreByteIdentical(t *testing.T) {
+	defer SetParallelism(0)
+	run := func(id string) string {
+		out, err := Run(id, mini)
+		if err != nil {
+			t.Fatal(id, err)
+		}
+		return out
+	}
+	for _, id := range []string{"f5", "f6", "lag"} {
+		SetParallelism(1)
+		seq := run(id)
+		SetParallelism(4)
+		par := run(id)
+		if seq != par {
+			t.Fatalf("%s: parallel output differs from sequential:\n--- parallel=1:\n%s\n--- parallel=4:\n%s", id, seq, par)
+		}
+		prev := runtime.GOMAXPROCS(1)
+		pinned := run(id) // 4 workers multiplexed onto one OS thread
+		runtime.GOMAXPROCS(prev)
+		if pinned != seq {
+			t.Fatalf("%s: output differs at GOMAXPROCS=1:\n%s\nvs\n%s", id, pinned, seq)
+		}
+	}
 }
 
 func TestRegistryCoversEveryPaperArtifact(t *testing.T) {

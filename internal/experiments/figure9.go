@@ -40,11 +40,12 @@ const fig9Prelude = 3
 func Figure9(sc Scale) (string, []Figure9Result) {
 	const slots = 12
 	epoch := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
-	results := []Figure9Result{
-		runFig9CloudyBench(sc, epoch, slots),
-		runFig9Baseline(sc, epoch, slots, "sysbench", 11),
-		runFig9Baseline(sc, epoch, slots, "tpcc", 44),
+	runs := []func() Figure9Result{
+		func() Figure9Result { return runFig9CloudyBench(sc, epoch, slots) },
+		func() Figure9Result { return runFig9Baseline(sc, epoch, slots, "sysbench", 11) },
+		func() Figure9Result { return runFig9Baseline(sc, epoch, slots, "tpcc", 44) },
 	}
+	results := runCells(len(runs), func(i int) Figure9Result { return runs[i]() })
 	var b strings.Builder
 	b.WriteString("Figure 9 — CPU allocation on CDB3: CloudyBench vs SysBench vs TPC-C\n")
 	fmt.Fprintf(&b, "(%d slots of %s; one sample per slot)\n\n", slots, sc.SlotLength)

@@ -11,11 +11,28 @@ import (
 )
 
 // Figure5 regenerates the transaction-processing comparison: TPS per SUT
-// across scale factors, workload modes, and concurrency levels.
+// across scale factors, workload modes, and concurrency levels. Cells fan
+// out across cores; the tables render afterwards in declaration order.
 func Figure5(sc Scale) (string, []evaluator.OLTPResult) {
-	var results []evaluator.OLTPResult
+	var cfgs []evaluator.OLTPConfig
+	for _, sf := range sc.SFs {
+		for _, mix := range Mixes {
+			for _, kind := range SUTs {
+				for _, con := range sc.Concurrency {
+					cfgs = append(cfgs, evaluator.OLTPConfig{
+						Kind: kind, SF: sf, Mix: mix.Mix, Concurrency: con,
+						Warmup: sc.Warmup, Measure: sc.Measure, Seed: sc.Seed,
+					})
+				}
+			}
+		}
+	}
+	results := runCells(len(cfgs), func(i int) evaluator.OLTPResult {
+		return evaluator.RunOLTP(cfgs[i])
+	})
 	var b strings.Builder
 	b.WriteString("Figure 5 — Transaction Processing Performance (TPS)\n\n")
+	i := 0
 	for _, sf := range sc.SFs {
 		for _, mix := range Mixes {
 			tbl := report.NewTable(
@@ -23,13 +40,9 @@ func Figure5(sc Scale) (string, []evaluator.OLTPResult) {
 				append([]string{"System"}, concurrencyHeaders(sc.Concurrency)...)...)
 			for _, kind := range SUTs {
 				row := []string{string(kind)}
-				for _, con := range sc.Concurrency {
-					r := evaluator.RunOLTP(evaluator.OLTPConfig{
-						Kind: kind, SF: sf, Mix: mix.Mix, Concurrency: con,
-						Warmup: sc.Warmup, Measure: sc.Measure, Seed: sc.Seed,
-					})
-					results = append(results, r)
-					row = append(row, report.F(r.TPS))
+				for range sc.Concurrency {
+					row = append(row, report.F(results[i].TPS))
+					i++
 				}
 				tbl.AddRow(row...)
 			}
@@ -55,20 +68,27 @@ func TableV(sc Scale) (string, []evaluator.OLTPResult) {
 	if len(sc.Concurrency) > 0 {
 		con = sc.Concurrency[len(sc.Concurrency)-1]
 	}
-	var results []evaluator.OLTPResult
-	tbl := report.NewTable("Table V — P-Score with detailed resource cost ($/min, 1 RW + 1 RO)",
-		"System", "CPU", "Memory", "Storage", "IOPS", "Network", "Total",
-		"P(RO)", "P(RW)", "P(WO)", "P(AVG)")
+	var cfgs []evaluator.OLTPConfig
 	for _, kind := range SUTs {
-		var ps [3]float64
-		var cost string
-		var parts [5]string
-		for i, mix := range Mixes {
-			r := evaluator.RunOLTP(evaluator.OLTPConfig{
+		for _, mix := range Mixes {
+			cfgs = append(cfgs, evaluator.OLTPConfig{
 				Kind: kind, SF: 1, Mix: mix.Mix, Concurrency: con,
 				Warmup: sc.Warmup, Measure: sc.Measure, Seed: sc.Seed,
 			})
-			results = append(results, r)
+		}
+	}
+	results := runCells(len(cfgs), func(i int) evaluator.OLTPResult {
+		return evaluator.RunOLTP(cfgs[i])
+	})
+	tbl := report.NewTable("Table V — P-Score with detailed resource cost ($/min, 1 RW + 1 RO)",
+		"System", "CPU", "Memory", "Storage", "IOPS", "Network", "Total",
+		"P(RO)", "P(RW)", "P(WO)", "P(AVG)")
+	for k, kind := range SUTs {
+		var ps [3]float64
+		var cost string
+		var parts [5]string
+		for i := range Mixes {
+			r := results[k*len(Mixes)+i]
 			ps[i] = r.PScore
 			cost = report.Money(r.CostPerMin.Total())
 			parts = [5]string{
@@ -93,21 +113,25 @@ func Figure8(sc Scale) (string, []evaluator.OLTPResult) {
 	buffers := []int64{128 << 20, 1 << 30, 4 << 30, 10 << 30}
 	kinds := []cdb.Kind{cdb.RDS, cdb.CDB1, cdb.CDB4}
 	con := 100
-	var results []evaluator.OLTPResult
-	tbl := report.NewTable("Figure 8 — Varying the Buffer Size (RW, SF10)",
-		"System", "Buffer", "TPS", "HitRatio", "Cost/min", "P-Score")
+	var cfgs []evaluator.OLTPConfig
 	for _, kind := range kinds {
 		for _, buf := range buffers {
-			r := evaluator.RunOLTP(evaluator.OLTPConfig{
+			cfgs = append(cfgs, evaluator.OLTPConfig{
 				Kind: kind, SF: 10, Mix: core.MixReadWrite, Concurrency: con,
 				Warmup: sc.Warmup, Measure: sc.Measure, Seed: sc.Seed,
 				BufferBytes: buf,
 			})
-			results = append(results, r)
-			tbl.AddRow(string(kind), fmt.Sprintf("%dMB", buf>>20),
-				report.F(r.TPS), fmt.Sprintf("%.2f", r.HitRatio),
-				report.Money(r.CostPerMin.Total()), report.F(r.PScore))
 		}
+	}
+	results := runCells(len(cfgs), func(i int) evaluator.OLTPResult {
+		return evaluator.RunOLTP(cfgs[i])
+	})
+	tbl := report.NewTable("Figure 8 — Varying the Buffer Size (RW, SF10)",
+		"System", "Buffer", "TPS", "HitRatio", "Cost/min", "P-Score")
+	for i, r := range results {
+		tbl.AddRow(string(cfgs[i].Kind), fmt.Sprintf("%dMB", cfgs[i].BufferBytes>>20),
+			report.F(r.TPS), fmt.Sprintf("%.2f", r.HitRatio),
+			report.Money(r.CostPerMin.Total()), report.F(r.PScore))
 	}
 	return tbl.String(), results
 }

@@ -98,13 +98,38 @@ var Paper = Scale{
 	Seed:         42,
 }
 
-// ScaleByName resolves "quick" or "paper".
+// Bench compresses the experiment windows further than Quick so the whole
+// suite of artifacts completes in seconds — the scale used by the
+// regeneration benchmarks (bench_test.go) and by kernel wall-clock
+// measurements (BENCH_sim.json).
+var Bench = Scale{
+	Name:         "bench",
+	Warmup:       500 * time.Millisecond,
+	Measure:      1500 * time.Millisecond,
+	Concurrency:  []int{100},
+	SFs:          []int{1},
+	SlotLength:   3 * time.Second,
+	CostSlots:    6,
+	Tau:          110,
+	FailBaseline: 6 * time.Second,
+	FailTimeout:  45 * time.Second,
+	FailConc:     30,
+	LagDuration:  2500 * time.Millisecond,
+	LagConc:      6,
+	ChaosSpan:    6 * time.Second,
+	ChaosConc:    6,
+	Seed:         42,
+}
+
+// ScaleByName resolves "quick", "paper", or "bench".
 func ScaleByName(name string) (Scale, bool) {
 	switch name {
 	case "", "quick":
 		return Quick, true
 	case "paper":
 		return Paper, true
+	case "bench":
+		return Bench, true
 	}
 	return Scale{}, false
 }

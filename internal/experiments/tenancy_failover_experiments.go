@@ -14,19 +14,26 @@ import (
 // TableVII regenerates the multi-tenancy evaluation: per-pattern TPS,
 // total provisioned resources, cost, and T-Score per SUT.
 func TableVII(sc Scale) (string, []evaluator.TenancyResult) {
-	var results []evaluator.TenancyResult
-	tbl := report.NewTable("Table VII — Multi-Tenancy Evaluation (3 tenants)",
-		"System", "TPS(a)", "TPS(b)", "TPS(c)", "TPS(d)",
-		"Resources", "Cost/min", "T(a)", "T(b)", "T(c)", "T(d)", "T(AVG)")
+	var cfgs []evaluator.TenancyConfig
 	for _, kind := range SUTs {
-		var tps, tscores [4]float64
-		var resources, cost string
-		for i, pk := range patterns.TenancyKinds {
-			r := evaluator.RunTenancy(evaluator.TenancyConfig{
+		for _, pk := range patterns.TenancyKinds {
+			cfgs = append(cfgs, evaluator.TenancyConfig{
 				Kind: kind, Pattern: patterns.PaperTenancy(pk),
 				SlotLength: sc.SlotLength, Seed: sc.Seed,
 			})
-			results = append(results, r)
+		}
+	}
+	results := runCells(len(cfgs), func(i int) evaluator.TenancyResult {
+		return evaluator.RunTenancy(cfgs[i])
+	})
+	tbl := report.NewTable("Table VII — Multi-Tenancy Evaluation (3 tenants)",
+		"System", "TPS(a)", "TPS(b)", "TPS(c)", "TPS(d)",
+		"Resources", "Cost/min", "T(a)", "T(b)", "T(c)", "T(d)", "T(AVG)")
+	for k, kind := range SUTs {
+		var tps, tscores [4]float64
+		var resources, cost string
+		for i := range patterns.TenancyKinds {
+			r := results[k*len(patterns.TenancyKinds)+i]
 			tps[i] = r.TotalTPS
 			tscores[i] = r.TScore
 			p := r.Package
@@ -47,19 +54,22 @@ func TableVII(sc Scale) (string, []evaluator.TenancyResult) {
 // TableVIII regenerates the fail-over evaluation: F-Score and R-Score for
 // RW and RO node failures per SUT.
 func TableVIII(sc Scale) (string, []evaluator.FailoverResult) {
-	var results []evaluator.FailoverResult
+	var cfgs []evaluator.FailoverConfig
+	for _, kind := range SUTs {
+		for _, role := range []cluster.Role{cluster.RW, cluster.RO} {
+			cfgs = append(cfgs, evaluator.FailoverConfig{
+				Kind: kind, Role: role, Concurrency: sc.FailConc,
+				Baseline: sc.FailBaseline, Timeout: sc.FailTimeout, Seed: sc.Seed,
+			})
+		}
+	}
+	results := runCells(len(cfgs), func(i int) evaluator.FailoverResult {
+		return evaluator.RunFailover(cfgs[i])
+	})
 	tbl := report.NewTable("Table VIII — F-Score and R-Score",
 		"System", "F(RW)", "F(RO)", "F(AVG)", "R(RW)", "R(RO)", "R(AVG)", "Total")
-	for _, kind := range SUTs {
-		rw := evaluator.RunFailover(evaluator.FailoverConfig{
-			Kind: kind, Role: cluster.RW, Concurrency: sc.FailConc,
-			Baseline: sc.FailBaseline, Timeout: sc.FailTimeout, Seed: sc.Seed,
-		})
-		ro := evaluator.RunFailover(evaluator.FailoverConfig{
-			Kind: kind, Role: cluster.RO, Concurrency: sc.FailConc,
-			Baseline: sc.FailBaseline, Timeout: sc.FailTimeout, Seed: sc.Seed,
-		})
-		results = append(results, rw, ro)
+	for k, kind := range SUTs {
+		rw, ro := results[2*k], results[2*k+1]
 		fAvg := (rw.F + ro.F) / 2
 		rAvg := (rw.R + ro.R) / 2
 		total := rw.F + ro.F + rw.R + ro.R
@@ -102,20 +112,29 @@ func Figure7(sc Scale) (string, evaluator.FailoverResult) {
 // LagTable regenerates the §III-F replication lag evaluation across the
 // four IUD mixes.
 func LagTable(sc Scale) (string, []evaluator.LagResult) {
-	var results []evaluator.LagResult
+	var cfgs []evaluator.LagConfig
+	for _, iud := range evaluator.PaperIUDMixes {
+		for _, kind := range SUTs {
+			cfgs = append(cfgs, evaluator.LagConfig{
+				Kind: kind, IUD: iud, Concurrency: sc.LagConc,
+				Duration: sc.LagDuration, Seed: sc.Seed,
+			})
+		}
+	}
+	results := runCells(len(cfgs), func(i int) evaluator.LagResult {
+		return evaluator.RunLag(cfgs[i])
+	})
 	var b strings.Builder
 	b.WriteString("Replication lag time between RW and RO (§III-F)\n\n")
+	i := 0
 	for _, iud := range evaluator.PaperIUDMixes {
 		tbl := report.NewTable(
 			fmt.Sprintf("IUD = (%.0f%%, %.0f%%, %.0f%%)", iud[0], iud[1], iud[2]),
 			"System", "InsertLag", "UpdateLag", "DeleteLag", "C-Score")
-		for _, kind := range SUTs {
-			r := evaluator.RunLag(evaluator.LagConfig{
-				Kind: kind, IUD: iud, Concurrency: sc.LagConc,
-				Duration: sc.LagDuration, Seed: sc.Seed,
-			})
-			results = append(results, r)
-			tbl.AddRow(string(kind),
+		for range SUTs {
+			r := results[i]
+			i++
+			tbl.AddRow(string(r.Kind),
 				report.Dur(r.InsertLag), report.Dur(r.UpdateLag),
 				report.Dur(r.DeleteLag), report.Dur(r.CScore))
 		}
@@ -128,17 +147,18 @@ func LagTable(sc Scale) (string, []evaluator.LagResult) {
 // TableIX regenerates the overall PERFECT comparison, including the
 // actual-cost starred variants.
 func TableIX(sc Scale) (string, []evaluator.OverallResult) {
-	var results []evaluator.OverallResult
-	tbl := report.NewTable("Table IX — Overall performance (PERFECT framework)",
-		"System", "P", "P*", "E1", "E1*", "R", "F", "E2", "C", "T", "T*", "O", "O*")
-	for _, kind := range SUTs {
-		r := evaluator.RunOverall(evaluator.OverallConfig{
-			Kind: kind, SlotLength: sc.SlotLength, Measure: sc.Measure,
+	results := runCells(len(SUTs), func(i int) evaluator.OverallResult {
+		return evaluator.RunOverall(evaluator.OverallConfig{
+			Kind: SUTs[i], SlotLength: sc.SlotLength, Measure: sc.Measure,
 			Tau: sc.Tau, Seed: sc.Seed,
 			FailBaseline: sc.FailBaseline, FailTimeout: sc.FailTimeout, FailConc: sc.FailConc,
 			LagDuration: sc.LagDuration,
 		})
-		results = append(results, r)
+	})
+	tbl := report.NewTable("Table IX — Overall performance (PERFECT framework)",
+		"System", "P", "P*", "E1", "E1*", "R", "F", "E2", "C", "T", "T*", "O", "O*")
+	for _, r := range results {
+		kind := r.Kind
 		s := r.Scores
 		tbl.AddRow(string(kind),
 			report.F(s.P), report.F(s.PStar),

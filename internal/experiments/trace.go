@@ -35,7 +35,16 @@ func OLTPTrace(sc Scale) (string, []*obs.StageAgg) {
 	if len(sc.Concurrency) > 0 {
 		conc = sc.Concurrency[0]
 	}
-	for _, kind := range SUTs {
+	// Each cell traces one SUT's OLTP run and, when emitting, owns its own
+	// trace_<sut>.jsonl file — cells never share file handles, so the fan-out
+	// is safe and the per-SUT files are identical to a sequential run.
+	type traceCell struct {
+		agg *obs.StageAgg
+		res evaluator.OLTPResult
+		err string
+	}
+	cells := runCells(len(SUTs), func(i int) traceCell {
+		kind := SUTs[i]
 		var sink obs.Sink
 		var file *os.File
 		var jsonl *obs.JSONLSink
@@ -43,7 +52,7 @@ func OLTPTrace(sc Scale) (string, []*obs.StageAgg) {
 			path := filepath.Join(sc.TraceDir, fmt.Sprintf("trace_%s.jsonl", kind))
 			f, err := os.Create(path)
 			if err != nil {
-				return fmt.Sprintf("trace: creating %s: %v\n", path, err), nil
+				return traceCell{err: fmt.Sprintf("trace: creating %s: %v\n", path, err)}
 			}
 			file = f
 			jsonl = obs.NewJSONLSink(f)
@@ -59,19 +68,24 @@ func OLTPTrace(sc Scale) (string, []*obs.StageAgg) {
 		})
 		if file != nil {
 			if err := jsonl.Err(); err != nil {
-				return fmt.Sprintf("trace: writing %s spans: %v\n", kind, err), nil
+				return traceCell{err: fmt.Sprintf("trace: writing %s spans: %v\n", kind, err)}
 			}
 			if err := file.Close(); err != nil {
-				return fmt.Sprintf("trace: closing %s spans: %v\n", kind, err), nil
+				return traceCell{err: fmt.Sprintf("trace: closing %s spans: %v\n", kind, err)}
 			}
 		}
-		agg := tr.Agg()
-		aggs = append(aggs, agg)
+		return traceCell{agg: tr.Agg(), res: res}
+	})
+	for i, c := range cells {
+		if c.err != "" {
+			return c.err, nil
+		}
+		aggs = append(aggs, c.agg)
 		fmt.Fprintf(&b, "%s: TPS=%s p50=%s p99=%s\n\n",
-			kind, report.F(res.TPS), report.Dur(res.P50), report.Dur(res.P99))
-		b.WriteString(report.TxnSummary(agg))
+			SUTs[i], report.F(c.res.TPS), report.Dur(c.res.P50), report.Dur(c.res.P99))
+		b.WriteString(report.TxnSummary(c.agg))
 		b.WriteByte('\n')
-		b.WriteString(report.StageBreakdown(agg))
+		b.WriteString(report.StageBreakdown(c.agg))
 		b.WriteByte('\n')
 	}
 	if emit {

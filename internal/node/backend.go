@@ -30,16 +30,15 @@ func NewLocalDisk(s *sim.Sim, iops float64) *LocalDisk {
 	}
 }
 
-// FetchPage implements StorageBackend.
+// FetchPage implements StorageBackend: IOPS-channel queueing and device
+// read latency folded into a single scheduler block.
 func (d *LocalDisk) FetchPage(p *sim.Proc, pg storage.PageID) {
-	d.IO.Wait(p, 1)
-	p.Sleep(d.ReadLatency)
+	p.Sleep(d.IO.Reserve(1) + d.ReadLatency)
 }
 
 // FlushPage implements StorageBackend.
 func (d *LocalDisk) FlushPage(p *sim.Proc, pg storage.PageID) {
-	d.IO.Wait(p, 1)
-	p.Sleep(d.WriteLatency)
+	p.Sleep(d.IO.Reserve(1) + d.WriteLatency)
 }
 
 // WriteLog implements StorageBackend. WAL appends are sequential and

@@ -65,13 +65,21 @@ func (q *Queue) Reserve(ops int) time.Duration {
 		return 0
 	}
 	service := time.Duration(ops) * q.perOp
+	if service/q.perOp != time.Duration(ops) { // multiplication overflowed
+		service = maxDuration
+	}
 	start := s.now
 	if q.nextFree > start {
 		start = q.nextFree
 	}
 	done := start + service
+	if done < start { // saturate instead of wrapping negative
+		done = maxDuration
+	}
 	q.nextFree = done
-	q.busy += service
+	if q.busy += service; q.busy < 0 {
+		q.busy = maxDuration
+	}
 	delay := done - s.now
 	s.mu.Unlock()
 	return delay

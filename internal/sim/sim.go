@@ -12,10 +12,16 @@
 // only the CPU time of the events inside it. All CloudyBench evaluators run
 // on this kernel so that minute-granularity cloud experiments finish in
 // milliseconds and remain reproducible.
+//
+// Because kernel overhead is 100% of an experiment's wall-clock cost, the
+// scheduler is built around two fast paths: a hand-rolled binary heap over
+// []event (no container/heap interface boxing, no per-push allocation), and
+// a "runnext" direct-handoff slot that lets a wake scheduled at the current
+// virtual time bypass the heap entirely — the dominant case for Yield,
+// mutex handoff, and zero-delay queue reservations.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 	"strings"
@@ -30,13 +36,23 @@ type Sim struct {
 	mu       sync.Mutex
 	termCond *sync.Cond // signaled when procs hits zero or a deadlock is found
 
-	start   time.Time     // virtual epoch
-	now     time.Duration // virtual time since start
-	events  eventHeap
+	start  time.Time     // virtual epoch
+	now    time.Duration // virtual time since start
+	events []event       // hand-rolled binary min-heap ordered by (at, seq)
+
+	// runnext is the direct-handoff slot: the first wake scheduled at the
+	// current virtual time parks here instead of in the heap. It holds the
+	// smallest seq among same-time events pushed after it, so in the common
+	// case (one wake between dispatches) the next dispatch pops it with two
+	// comparisons and zero heap traffic. Valid only when runnextSet; while
+	// set, runnext.at == now (time cannot advance past a pending same-time
+	// event).
+	runnext    event
+	runnextSet bool
+
 	seq     uint64 // dispatch tiebreaker for determinism
 	running int    // processes currently executing (0 or 1 in steady state)
-	procs   int    // live (not yet exited) processes
-	blocked map[*Proc]string
+	procs   map[*Proc]struct{} // live (not yet exited) processes
 	err     error
 }
 
@@ -46,6 +62,13 @@ type Proc struct {
 	sim  *Sim
 	name string
 	wake chan struct{}
+
+	// why records the reason for the most recent block ("sleep", "mutex",
+	// ...). It is written on the block path and read only by deadlock
+	// diagnostics, where every live process is by definition blocked and
+	// its last-written reason is current. Keeping it here, instead of in a
+	// kernel-side map, takes the bookkeeping off the dispatch hot path.
+	why string
 }
 
 // Name returns the process name given to Sim.Go.
@@ -54,34 +77,72 @@ func (p *Proc) Name() string { return p.name }
 // Sim returns the simulation this process belongs to.
 func (p *Proc) Sim() *Sim { return p.sim }
 
+// maxDuration is the saturation ceiling for virtual-time arithmetic:
+// overflowing computations clamp here instead of wrapping negative.
+const maxDuration = time.Duration(1<<63 - 1)
+
 type event struct {
 	at  time.Duration
 	seq uint64
 	p   *Proc
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// lessEv orders events by (at, seq): earlier virtual time first, spawn/wake
+// order breaking ties — the determinism contract.
+func lessEv(a, b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
-	return ev
+
+// heapPush inserts ev into the event heap (sift-up over the raw slice; no
+// interface boxing, amortized zero allocation once the backing array grows).
+func (s *Sim) heapPush(ev event) {
+	s.events = append(s.events, ev)
+	h := s.events
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !lessEv(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+// heapPop removes and returns the minimum event.
+func (s *Sim) heapPop() event {
+	h := s.events
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // drop the *Proc reference
+	s.events = h[:n]
+	h = s.events
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && lessEv(h[r], h[l]) {
+			m = r
+		}
+		if !lessEv(h[m], h[i]) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	return top
 }
 
 // New returns a simulation whose virtual clock starts at the given epoch.
 func New(start time.Time) *Sim {
-	s := &Sim{start: start, blocked: make(map[*Proc]string)}
+	s := &Sim{start: start, procs: make(map[*Proc]struct{})}
 	s.termCond = sync.NewCond(&s.mu)
 	return s
 }
@@ -106,11 +167,10 @@ func (s *Sim) Elapsed() time.Duration {
 // processes spawned before Run, when Run starts). It is safe to call Go from
 // inside another process or from the host goroutine before Run.
 func (s *Sim) Go(name string, fn func(p *Proc)) *Proc {
-	p := &Proc{sim: s, name: name, wake: make(chan struct{}, 1)}
+	p := &Proc{sim: s, name: name, wake: make(chan struct{}, 1), why: "start"}
 	s.mu.Lock()
-	s.procs++
+	s.procs[p] = struct{}{}
 	s.pushLocked(s.now, p)
-	s.blocked[p] = "start"
 	s.mu.Unlock()
 	go func() {
 		<-p.wake
@@ -122,7 +182,13 @@ func (s *Sim) Go(name string, fn func(p *Proc)) *Proc {
 
 func (s *Sim) pushLocked(at time.Duration, p *Proc) {
 	s.seq++
-	heap.Push(&s.events, event{at: at, seq: s.seq, p: p})
+	ev := event{at: at, seq: s.seq, p: p}
+	if at == s.now && !s.runnextSet {
+		s.runnext = ev
+		s.runnextSet = true
+		return
+	}
+	s.heapPush(ev)
 }
 
 // blockLocked records the caller as blocked and hands the baton to the next
@@ -130,7 +196,7 @@ func (s *Sim) pushLocked(at time.Duration, p *Proc) {
 // after this returns, and then receive on p.wake.
 func (s *Sim) blockLocked(p *Proc, why string) {
 	s.running--
-	s.blocked[p] = why
+	p.why = why
 	if s.running == 0 {
 		s.dispatchLocked()
 	}
@@ -143,27 +209,39 @@ func (s *Sim) wakeLocked(p *Proc) {
 }
 
 func (s *Sim) dispatchLocked() {
-	if s.events.Len() == 0 {
-		if s.procs > 0 {
+	var ev event
+	switch {
+	// The runnext slot wins unless the heap holds a same-time event pushed
+	// earlier (smaller seq) — runnext.at == now is never later than any
+	// heap entry, so two comparisons decide.
+	case s.runnextSet && (len(s.events) == 0 || lessEv(s.runnext, s.events[0])):
+		ev = s.runnext
+		s.runnext = event{}
+		s.runnextSet = false
+	case len(s.events) > 0:
+		ev = s.heapPop()
+	default:
+		if len(s.procs) > 0 {
 			s.err = s.deadlockErrorLocked()
 			s.termCond.Broadcast()
 		}
 		return
 	}
-	ev := heap.Pop(&s.events).(event)
 	if ev.at < s.now {
 		panic(fmt.Sprintf("sim: time went backwards: %v -> %v", s.now, ev.at))
 	}
 	s.now = ev.at
 	s.running++
-	delete(s.blocked, ev.p)
 	ev.p.wake <- struct{}{}
 }
 
+// deadlockErrorLocked reconstructs the blocked-process diagnostic. It runs
+// only when every live process is blocked with no pending events, so each
+// process's last-recorded block reason is its current one.
 func (s *Sim) deadlockErrorLocked() error {
-	names := make([]string, 0, len(s.blocked))
-	for p, why := range s.blocked {
-		names = append(names, fmt.Sprintf("%s (%s)", p.name, why))
+	names := make([]string, 0, len(s.procs))
+	for p := range s.procs {
+		names = append(names, fmt.Sprintf("%s (%s)", p.name, p.why))
 	}
 	sort.Strings(names)
 	return fmt.Errorf("sim: deadlock at t=%v: %d process(es) blocked with no pending events: %s",
@@ -172,12 +250,12 @@ func (s *Sim) deadlockErrorLocked() error {
 
 func (s *Sim) exit(p *Proc) {
 	s.mu.Lock()
-	s.procs--
+	delete(s.procs, p)
 	s.running--
 	if s.running == 0 {
 		s.dispatchLocked()
 	}
-	if s.procs == 0 {
+	if len(s.procs) == 0 {
 		s.termCond.Broadcast()
 	}
 	s.mu.Unlock()
@@ -189,10 +267,10 @@ func (s *Sim) exit(p *Proc) {
 // events; otherwise nil.
 func (s *Sim) Run() error {
 	s.mu.Lock()
-	if s.running == 0 && s.procs > 0 {
+	if s.running == 0 && len(s.procs) > 0 {
 		s.dispatchLocked()
 	}
-	for s.procs > 0 && s.err == nil {
+	for len(s.procs) > 0 && s.err == nil {
 		s.termCond.Wait()
 	}
 	err := s.err
@@ -208,7 +286,11 @@ func (p *Proc) Sleep(d time.Duration) {
 		d = 0
 	}
 	s.mu.Lock()
-	s.pushLocked(s.now+d, p)
+	at := s.now + d
+	if at < s.now { // overflow from a pathologically large (clamped) delay
+		at = maxDuration
+	}
+	s.pushLocked(at, p)
 	s.blockLocked(p, "sleep")
 	s.mu.Unlock()
 	<-p.wake

@@ -438,6 +438,139 @@ func TestQueueIdleGapDoesNotAccumulateCredit(t *testing.T) {
 	}
 }
 
+// TestRunnextRespectsSeqTiebreak pits the runnext direct-handoff slot
+// against same-time heap entries: waiters woken in one burst must still run
+// in wake (seq) order even though only the first occupies the fast-path
+// slot, and a process that slept *into* the current instant (its event
+// pushed earlier, so a smaller seq, but parked in the heap) must beat a
+// runnext occupant woken after it.
+func TestRunnextRespectsSeqTiebreak(t *testing.T) {
+	s := New(epoch)
+	c := NewCond(s)
+	var order []string
+	for i := 0; i < 4; i++ {
+		i := i
+		s.Go(fmt.Sprintf("w%d", i), func(p *Proc) {
+			p.Sleep(time.Duration(i) * time.Millisecond) // stagger into the cond
+			c.Wait(p)
+			order = append(order, p.Name())
+		})
+	}
+	s.Go("sleeper", func(p *Proc) {
+		// Sleeps exactly to the broadcast instant: its event sits in the
+		// heap with a seq older than any of the broadcast wakes.
+		p.Sleep(10 * time.Millisecond)
+		order = append(order, "sleeper")
+	})
+	s.Go("caller", func(p *Proc) {
+		p.Sleep(10 * time.Millisecond)
+		c.Broadcast() // wakes w0..w3 at the same instant; w0 takes runnext
+		order = append(order, "caller")
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// sleeper's event (seq from t=0) precedes caller's, which precedes the
+	// broadcast wakes; the wakes themselves must stay FIFO.
+	want := "sleeper caller w0 w1 w2 w3"
+	if got := strings.Join(order, " "); got != want {
+		t.Fatalf("order = %q, want %q", got, want)
+	}
+}
+
+// TestYieldStormStaysFIFO drives many processes through repeated same-time
+// yields — the heaviest runnext traffic possible — and checks the round-robin
+// order never degrades.
+func TestYieldStormStaysFIFO(t *testing.T) {
+	s := New(epoch)
+	var order []string
+	for i := 0; i < 3; i++ {
+		i := i
+		s.Go(fmt.Sprintf("p%d", i), func(p *Proc) {
+			for j := 0; j < 3; j++ {
+				order = append(order, fmt.Sprintf("p%d.%d", i, j))
+				p.Yield()
+			}
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := "p0.0 p1.0 p2.0 p0.1 p1.1 p2.1 p0.2 p1.2 p2.2"
+	if got := strings.Join(order, " "); got != want {
+		t.Fatalf("order = %q, want %q", got, want)
+	}
+}
+
+// TestDeadlockNamesEveryBlockedProcessWithReason builds a three-way deadlock
+// across different primitives and demands the diagnostic name each process
+// with its blocking reason — the bookkeeping moved off the hot path must
+// still be exact when it matters.
+func TestDeadlockNamesEveryBlockedProcessWithReason(t *testing.T) {
+	s := New(epoch)
+	c := NewCond(s)
+	m := NewMutex(s)
+	r := NewResource(s, 1)
+	s.Go("cond-waiter", func(p *Proc) {
+		c.Wait(p)
+	})
+	s.Go("lock-holder", func(p *Proc) {
+		m.Lock(p)
+		r.Acquire(p, 1)
+		p.Sleep(time.Second)
+		r.Acquire(p, 1) // exhausted: blocks forever holding the mutex
+	})
+	s.Go("lock-waiter", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		m.Lock(p)
+	})
+	err := s.Run()
+	if err == nil {
+		t.Fatal("expected deadlock error")
+	}
+	for _, want := range []string{
+		"3 process(es) blocked",
+		"cond-waiter (cond)",
+		"lock-holder (resource)",
+		"lock-waiter (mutex)",
+	} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("deadlock error %q missing %q", err, want)
+		}
+	}
+}
+
+// TestQueueReserveHugeOpsSaturates is the regression test for the
+// time.Duration overflow in Reserve: a pathologically large reservation must
+// clamp to the far future, never wrap negative (which would panic the kernel
+// with "time went backwards").
+func TestQueueReserveHugeOpsSaturates(t *testing.T) {
+	s := New(epoch)
+	q := NewQueue(s, 1) // 1 op/s => 1s per op
+	const hugeOps = int(1<<62 - 1)
+	d := q.Reserve(hugeOps)
+	if d <= 0 {
+		t.Fatalf("Reserve(%d) = %v, want a large positive delay", hugeOps, d)
+	}
+	if b := q.Backlog(); b <= 0 {
+		t.Fatalf("Backlog after huge reserve = %v, want positive", b)
+	}
+	if q.BusyTime() <= 0 {
+		t.Fatalf("BusyTime after huge reserve = %v, want positive", q.BusyTime())
+	}
+	// A follow-up reservation on the saturated channel must stay sane too.
+	if d2 := q.Reserve(1); d2 <= 0 {
+		t.Fatalf("Reserve(1) after saturation = %v, want positive", d2)
+	}
+	// Sleeping on a saturated delay must clamp, not wrap the clock.
+	s.Go("p", func(p *Proc) {
+		p.Sleep(d)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestManyProcessesStress(t *testing.T) {
 	s := New(epoch)
 	r := NewResource(s, 8)
