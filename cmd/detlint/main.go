@@ -1,0 +1,93 @@
+// Command detlint mechanically enforces the testbed's determinism
+// contract: five analyzers (wallclock, globalrand, maporder, rawgo,
+// floatfold) over the module's deterministic packages. See DESIGN.md
+// "The determinism contract" for the rules and the suppression syntax.
+//
+// Usage:
+//
+//	go run ./cmd/detlint ./...
+//
+// Exit status is 0 when the tree is clean, 1 when violations are found,
+// and 2 on load/type-check errors. CI runs it as a hard-fail step.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"cloudybench/internal/lint"
+)
+
+func main() {
+	rules := flag.Bool("rules", false, "print the determinism rules and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: detlint [-rules] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Enforces the determinism contract over module packages (default ./...).\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *rules {
+		for _, a := range analyzers {
+			fmt.Printf("%-10s  %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detlint:", err)
+		os.Exit(2)
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detlint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detlint:", err)
+		os.Exit(2)
+	}
+	diags, err := lint.Run(lint.DefaultConfig(), analyzers, pkgs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil {
+			d.Pos.Filename = rel
+		}
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "detlint: %d violation(s) in %d package(s) checked\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+	fmt.Printf("detlint: CLEAN (%d packages)\n", len(pkgs))
+}
+
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

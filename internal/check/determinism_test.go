@@ -1,0 +1,95 @@
+package check
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"cloudybench/internal/core"
+	"cloudybench/internal/engine"
+	"cloudybench/internal/sim"
+)
+
+// TestConservationDetailsGolden is the regression guard for the sort that
+// detlint's maporder rule forced into Conservation: the per-txn sums live
+// in a map, Verdict.Details keeps only the first maxDetails violations,
+// and Verdict.String surfaces Details[0] in the chaos report — so before
+// the sort, *which* violations a report showed depended on map iteration
+// order. With more violating transactions than the Details cap, the golden
+// below only holds if the walk is in sorted txn order; repeated runs catch
+// any relapse into map order (Go randomizes it per range).
+func TestConservationDetailsGolden(t *testing.T) {
+	build := func() *Recorder {
+		rec := NewRecorder()
+		// Eight committed transactions that each credit a customer without
+		// paying an order — every one violates conservation. Deliberately
+		// out-of-order txn ids so insertion order != numeric order.
+		cust := engine.Row{engine.Int(1), engine.Str("c"), engine.Float(100), engine.Int(0)}
+		credited := cust.Clone()
+		credited[2] = engine.Float(150)
+		for _, txn := range []uint64{11, 3, 7, 1, 9, 5, 12, 2} {
+			rec.OnWrite(0, txn, core.TableCustomer, engine.IntKey(1), cust, credited)
+			rec.OnCommit(0, txn)
+		}
+		return rec
+	}
+
+	golden := []string{
+		"txn 1: touched customer=true orders=false — payment must touch both",
+		"txn 2: touched customer=true orders=false — payment must touch both",
+		"txn 3: touched customer=true orders=false — payment must touch both",
+		"txn 5: touched customer=true orders=false — payment must touch both",
+		"txn 7: touched customer=true orders=false — payment must touch both",
+	}
+	for run := 0; run < 25; run++ {
+		v := Conservation(build())
+		if v.Passed {
+			t.Fatal("conservation unexpectedly passed")
+		}
+		if v.Checked != 8 {
+			t.Fatalf("run %d: checked %d txns, want 8", run, v.Checked)
+		}
+		if !reflect.DeepEqual(v.Details, golden) {
+			t.Fatalf("run %d: details depend on iteration order:\ngot  %q\nwant %q", run, v.Details, golden)
+		}
+		if got := v.String(); got != "FAIL: "+golden[0] {
+			t.Fatalf("run %d: rendered verdict %q, want %q", run, got, "FAIL: "+golden[0])
+		}
+	}
+}
+
+// TestRowBalanceDetailsSorted covers the same hazard on the table map:
+// RowBalance walks db.Tables() — a map — and its failure details must come
+// out in table-name order every run.
+func TestRowBalanceDetailsSorted(t *testing.T) {
+	db, rec := brokenSalesDB(t)
+	for run := 0; run < 25; run++ {
+		v := RowBalance(rec, db)
+		if v.Passed {
+			t.Fatal("row balance unexpectedly passed")
+		}
+		want := []string{
+			"table customer: live rows 4, want base 4 +1 committed net inserts = 5",
+			"table orderline: live rows 8, want base 8 +1 committed net inserts = 9",
+			"table orders: live rows 4, want base 4 +1 committed net inserts = 5",
+		}
+		if !reflect.DeepEqual(v.Details, want) {
+			t.Fatalf("run %d: details depend on iteration order:\ngot  %q\nwant %q", run, v.Details, want)
+		}
+	}
+}
+
+// brokenSalesDB fabricates a history claiming one committed insert per
+// table that never reached the database, so every table fails row balance.
+func brokenSalesDB(t *testing.T) (*engine.DB, *Recorder) {
+	t.Helper()
+	db := salesDB(sim.New(time.Unix(0, 0)))
+	rec := NewRecorder()
+	row := engine.Row{engine.Int(99)}
+	for i, table := range []string{core.TableOrderline, core.TableCustomer, core.TableOrders} {
+		txn := uint64(i + 1)
+		rec.OnWrite(0, txn, table, engine.IntKey(99), nil, row)
+		rec.OnCommit(0, txn)
+	}
+	return db, rec
+}

@@ -3,6 +3,7 @@ package check
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"cloudybench/internal/core"
 	"cloudybench/internal/engine"
@@ -96,7 +97,16 @@ func Conservation(h *Recorder) Verdict {
 			s.paidAmount += ev.Before[ordAmount].F
 		}
 	}
-	for txn, s := range sums {
+	// Verdict.Details keeps only the first maxDetails violations, so the
+	// iteration order here is visible in the chaos report: walk txns in
+	// numeric order, not map order.
+	txns := make([]uint64, 0, len(sums))
+	for txn := range sums {
+		txns = append(txns, txn)
+	}
+	sort.Slice(txns, func(i, j int) bool { return txns[i] < txns[j] })
+	for _, txn := range txns {
+		s := sums[txn]
 		v.Checked++
 		if s.touchedCust != s.touchedOrd {
 			v.fail("txn %d: touched customer=%v orders=%v — payment must touch both", txn, s.touchedCust, s.touchedOrd)
@@ -131,7 +141,9 @@ func RowBalance(h *Recorder, db *engine.DB) Verdict {
 			net[ev.Table]--
 		}
 	}
-	for name, t := range db.Tables() {
+	tables := db.Tables()
+	for _, name := range sortedTableNames(tables) {
+		t := tables[name]
 		v.Checked++
 		want := t.BaseRows() + net[name]
 		if got := t.LiveRows(); got != want {
@@ -140,6 +152,18 @@ func RowBalance(h *Recorder, db *engine.DB) Verdict {
 		}
 	}
 	return v
+}
+
+// sortedTableNames fixes the walk order over a table map: failure details
+// are truncated to maxDetails, so which tables get reported must not
+// depend on map iteration order.
+func sortedTableNames(m map[string]*engine.Table) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // ReadCommitted replays the recorded history and verifies the isolation
@@ -228,7 +252,9 @@ func ReadCommitted(h *Recorder) Verdict {
 // delete). The caller must quiesce replication first (backlog drained).
 func Convergence(name string, primary, replica *engine.DB) Verdict {
 	v := Verdict{Name: "convergence/" + name, Passed: true}
-	for tname, pt := range primary.Tables() {
+	primaryTables := primary.Tables()
+	for _, tname := range sortedTableNames(primaryTables) {
+		pt := primaryTables[tname]
 		rt := replica.Table(tname)
 		if rt == nil {
 			v.fail("table %s missing on replica", tname)

@@ -57,13 +57,15 @@ func runCells[T any](n int, fn func(i int) T) []T {
 		return out
 	}
 	var (
-		next     atomic.Int64
+		next atomic.Int64
+		//detlint:allow rawgo(joins the blessed cell pool below; cells are independent Sims and results merge in declaration order)
 		wg       sync.WaitGroup
 		panicMu  sync.Mutex
 		panicked any
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		//detlint:allow rawgo(blessed cell worker pool — the one sanctioned fan-out; each cell owns its Sim, output is merged by cell index)
 		go func() {
 			defer wg.Done()
 			for {

@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatFold flags floating-point reductions folded in map iteration order.
+// Float addition and multiplication are not associative, so even with a
+// sorted *effect* (the same set of terms), accumulating them in a random
+// order can change the last bits of the result — enough to flip a rounded
+// score or a golden report byte. Integers commute exactly and are not
+// flagged; the fix is to collect values into a slice, sort by key, and
+// fold the sorted slice.
+var FloatFold = &Analyzer{
+	Name: "floatfold",
+	Doc: "flag float accumulation inside map iteration; fold over sorted keys instead " +
+		"(float addition is not associative)",
+	Run: runFloatFold,
+}
+
+func runFloatFold(pass *Pass) error {
+	if !pass.Cfg.IsDeterministic(pass.PkgPath) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			ast.Inspect(rng.Body, func(bn ast.Node) bool {
+				as, ok := bn.(*ast.AssignStmt)
+				if !ok || len(as.Lhs) != 1 {
+					return true
+				}
+				lhs := ast.Unparen(as.Lhs[0])
+				if !isEscapingFloat(pass, lhs, rng) {
+					return true
+				}
+				switch as.Tok {
+				case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+					pass.Report(as.Pos(),
+						"float accumulation %s in map iteration order is nondeterministic; fold over sorted keys", as.Tok)
+				case token.ASSIGN:
+					if selfReferencingFold(pass, lhs, as.Rhs[0]) {
+						pass.Report(as.Pos(),
+							"float accumulation in map iteration order is nondeterministic; fold over sorted keys")
+					}
+				}
+				return true
+			})
+			return true
+		})
+	}
+	return nil
+}
+
+// isEscapingFloat reports whether lhs is a float-typed variable or field
+// whose storage outlives the range statement.
+func isEscapingFloat(pass *Pass, lhs ast.Expr, rng *ast.RangeStmt) bool {
+	tv, ok := pass.Info.Types[lhs]
+	if !ok {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsFloat == 0 {
+		return false
+	}
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		return !declaredWithin(pass.Info.Uses[lhs], rng.Pos(), rng.End())
+	case *ast.SelectorExpr:
+		// A field or qualified variable always outlives the loop body —
+		// unless the whole receiver is loop-local (the per-key accumulator
+		// pattern `s := get(k); s.total += v`, which is keyed, not folded).
+		if root := rootIdent(lhs); root != nil {
+			return !declaredWithin(pass.Info.Uses[root], rng.Pos(), rng.End())
+		}
+		return true
+	}
+	return false
+}
+
+// rootIdent unwraps a selector chain (a.b.c) to its base identifier.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// selfReferencingFold detects `x = x + expr` (and -, *, /) — the spelled-out
+// form of a compound accumulation.
+func selfReferencingFold(pass *Pass, lhs ast.Expr, rhs ast.Expr) bool {
+	bin, ok := ast.Unparen(rhs).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch bin.Op {
+	case token.ADD, token.SUB, token.MUL, token.QUO:
+	default:
+		return false
+	}
+	lobj := exprObject(pass.Info, lhs)
+	if lobj == nil {
+		return false
+	}
+	return exprObject(pass.Info, bin.X) == lobj || exprObject(pass.Info, bin.Y) == lobj
+}
+
+// exprObject resolves an ident or selector to its object (field selectors
+// resolve to the field var).
+func exprObject(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// randConstructors are the math/rand and math/rand/v2 functions that build
+// an explicitly-seeded local generator. They are the raw material
+// internal/rng is made of; everything else on the package surface reads or
+// mutates the process-global generator, whose state is shared across every
+// caller in the binary and therefore depends on execution interleaving.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+// GlobalRand forbids the package-level math/rand convenience functions
+// (rand.Intn, rand.Float64, rand.Shuffle, ...) outside internal/rng. All
+// workload randomness flows through seeded rng streams so a run replays
+// from its seed; the global generator is invisible shared state that any
+// other call site can perturb.
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc: "forbid package-level math/rand and math/rand/v2 functions outside internal/rng; " +
+		"all randomness flows through seeded rng streams",
+	Run: runGlobalRand,
+}
+
+func runGlobalRand(pass *Pass) error {
+	if !pass.Cfg.IsDeterministic(pass.PkgPath) || pass.Cfg.IsRandExempt(pass.PkgPath) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg := importedPackage(pass.Info, sel.X)
+			if pkg != "math/rand" && pkg != "math/rand/v2" {
+				return true
+			}
+			if _, isFunc := pass.Info.Uses[sel.Sel].(*types.Func); !isFunc {
+				return true
+			}
+			if randConstructors[sel.Sel.Name] {
+				return true
+			}
+			pass.Report(sel.Pos(),
+				"rand.%s uses the process-global generator; draw from a seeded internal/rng stream instead",
+				sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}

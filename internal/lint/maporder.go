@@ -1,0 +1,243 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags range statements over maps whose body makes iteration
+// order observable: writing output (fmt print functions, Write*/Emit*
+// methods, calls into the report/obs emitter packages), appending to a
+// slice that outlives the loop without a subsequent sort, or calling a
+// same-package helper that does one of those things. Go randomizes map
+// iteration order per range, so any of these bakes nondeterminism into
+// rendered bytes. The fix is the repo's collect-then-sort idiom; sites
+// where order provably cannot matter carry //detlint:allow maporder(reason).
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "flag map iteration that emits output or escapes results in iteration order; " +
+		"sort keys first (collect-then-sort) or suppress with a reason",
+	Run: runMapOrder,
+}
+
+// fmtOutputFuncs are the fmt functions that produce ordered output as a
+// side effect. Sprint* build values and are only hazardous if the result
+// escapes, which the append rule already covers.
+var fmtOutputFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+func runMapOrder(pass *Pass) error {
+	if !pass.Cfg.IsDeterministic(pass.PkgPath) {
+		return nil
+	}
+	hazards := hazardSummaries(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkMapRanges(pass, fd.Body, hazards)
+		}
+	}
+	return nil
+}
+
+// calleeFunc resolves a call expression to the function object it invokes,
+// or nil for builtins, closures bound to variables, and indirect calls.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// isAppend reports whether call is the append builtin.
+func isAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// directHazard classifies a call that makes ordering observable by itself:
+// fmt output, a Write*/Emit* method, or a call into an emitter package.
+// Returns a short description or "".
+func directHazard(pass *Pass, call *ast.CallExpr) string {
+	if f := calleeFunc(pass.Info, call); f != nil && f.Pkg() != nil {
+		switch {
+		case f.Pkg().Path() == "fmt" && fmtOutputFuncs[f.Name()]:
+			return "fmt." + f.Name()
+		case pass.Cfg.IsEmitter(f.Pkg().Path()) && f.Pkg().Path() != pass.PkgPath:
+			return f.Pkg().Name() + "." + f.Name()
+		}
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if strings.HasPrefix(sel.Sel.Name, "Write") || strings.HasPrefix(sel.Sel.Name, "Emit") {
+			return "." + sel.Sel.Name
+		}
+	}
+	return ""
+}
+
+// hazardSummaries is the one-level interprocedural layer: a same-package
+// function is hazardous if its body emits output directly, or if it both
+// formats values (fmt.Sprint*/Errorf) and appends to a field — the
+// v.fail(...) pattern, which stores rendered messages in call order.
+// Appending raw values to a field is not hazardous by itself (merging
+// commutative state is order-insensitive); direct field appends inside a
+// map range are still caught by the escape rule at the range site.
+func hazardSummaries(pass *Pass) map[*types.Func]bool {
+	out := make(map[*types.Func]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			emits, formats, fieldAppend := false, false, false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if directHazard(pass, call) != "" {
+					emits = true
+				}
+				if cf := calleeFunc(pass.Info, call); cf != nil && cf.Pkg() != nil &&
+					cf.Pkg().Path() == "fmt" && (strings.HasPrefix(cf.Name(), "Sprint") || cf.Name() == "Errorf") {
+					formats = true
+				}
+				if isAppend(pass.Info, call) && len(call.Args) > 0 {
+					if _, ok := ast.Unparen(call.Args[0]).(*ast.SelectorExpr); ok {
+						fieldAppend = true
+					}
+				}
+				return true
+			})
+			if emits || (formats && fieldAppend) {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// appendTarget returns the object a range-body append accumulates into, or
+// nil if the call is not an append or the destination cannot be resolved.
+func appendTarget(info *types.Info, call *ast.CallExpr) types.Object {
+	if !isAppend(info, call) || len(call.Args) == 0 {
+		return nil
+	}
+	switch dst := ast.Unparen(call.Args[0]).(type) {
+	case *ast.Ident:
+		return info.Uses[dst]
+	case *ast.SelectorExpr:
+		return info.Uses[dst.Sel]
+	}
+	return nil
+}
+
+// checkMapRanges walks one function body, finds every range over a map,
+// and reports the ones whose body makes iteration order observable.
+func checkMapRanges(pass *Pass, body *ast.BlockStmt, hazards map[*types.Func]bool) {
+	// sortedAfter(obj, pos): a sort/slices call mentioning obj at a
+	// position after pos — the second half of collect-then-sort.
+	sortedAfter := func(obj types.Object, pos ast.Node) bool {
+		found := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok || call.Pos() < pos.End() {
+				return true
+			}
+			f := calleeFunc(pass.Info, call)
+			if f == nil || f.Pkg() == nil || (f.Pkg().Path() != "sort" && f.Pkg().Path() != "slices") {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(a ast.Node) bool {
+					if id, ok := a.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+						found = true
+					}
+					return !found
+				})
+			}
+			return !found
+		})
+		return found
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.Info.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+
+		var (
+			hazard  string
+			escapes []types.Object
+		)
+		ast.Inspect(rng.Body, func(bn ast.Node) bool {
+			if hazard != "" {
+				return false
+			}
+			call, ok := bn.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if h := directHazard(pass, call); h != "" {
+				hazard = "calls " + h
+				return false
+			}
+			if f := calleeFunc(pass.Info, call); f != nil && hazards[f] {
+				hazard = "calls " + f.Name() + ", which emits or escapes in call order"
+				return false
+			}
+			if obj := appendTarget(pass.Info, call); obj != nil && !declaredWithin(obj, rng.Pos(), rng.End()) {
+				escapes = append(escapes, obj)
+			}
+			return true
+		})
+
+		switch {
+		case hazard != "":
+			pass.Report(rng.Pos(), "map iteration %s; map order is random per range — sort the keys first", hazard)
+		case len(escapes) > 0:
+			for _, obj := range escapes {
+				if !sortedAfter(obj, rng) {
+					pass.Report(rng.Pos(),
+						"map iteration appends to %s, which outlives the loop unsorted; sort it before use (collect-then-sort)",
+						obj.Name())
+					break
+				}
+			}
+		}
+		return true
+	})
+}

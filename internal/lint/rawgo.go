@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// RawGo forbids ad-hoc concurrency in deterministic packages: bare go
+// statements, channel types and operations (send, receive, select, close,
+// range-over-channel), and sync.WaitGroup. The DES kernel (internal/sim)
+// owns real goroutines and turns them back into a deterministic
+// single-runnable discipline; anything spawned outside it races the
+// kernel's schedule and is exactly how the byte-identical report guarantee
+// dies. The kernel package itself is blessed in the config; the
+// experiments cell pool documents its exception with //detlint:allow.
+var RawGo = &Analyzer{
+	Name: "rawgo",
+	Doc: "forbid go statements, channels, and sync.WaitGroup in deterministic packages " +
+		"outside the sim kernel; concurrency belongs to the DES scheduler",
+	Run: runRawGo,
+}
+
+func runRawGo(pass *Pass) error {
+	if !pass.Cfg.IsDeterministic(pass.PkgPath) || pass.Cfg.IsKernel(pass.PkgPath) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Report(n.Pos(), "bare go statement; deterministic packages schedule work through the sim kernel (sim.Sim.Go)")
+			case *ast.SendStmt:
+				pass.Report(n.Pos(), "channel send; use the sim kernel's queues and wakeups instead of raw channels")
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					pass.Report(n.Pos(), "channel receive; use the sim kernel's queues and wakeups instead of raw channels")
+				}
+			case *ast.SelectStmt:
+				pass.Report(n.Pos(), "select statement; channel multiplexing is nondeterministic — use sim events")
+			case *ast.ChanType:
+				pass.Report(n.Pos(), "channel type; deterministic packages communicate through sim queues, not channels")
+			case *ast.RangeStmt:
+				if tv, ok := pass.Info.Types[n.X]; ok {
+					if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+						pass.Report(n.Pos(), "range over channel; drain sim queues in virtual time instead")
+					}
+				}
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+					if b, ok := pass.Info.Uses[id].(*types.Builtin); ok && b.Name() == "close" {
+						pass.Report(n.Pos(), "close on a channel; deterministic packages do not own channels")
+					}
+				}
+			case *ast.SelectorExpr:
+				if importedPackage(pass.Info, n.X) == "sync" && n.Sel.Name == "WaitGroup" {
+					pass.Report(n.Pos(), "sync.WaitGroup joins real goroutines; deterministic packages wait in virtual time (sim.Group)")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,43 @@
+package lint
+
+// Run executes every analyzer over every package and returns the surviving
+// diagnostics in (file, line, column) order. Suppression comments
+// (//detlint:allow rule(reason)) are honoured per site; malformed or
+// reason-less suppressions surface as diagnostics of the pseudo-rule
+// "detlint" so they can never silently mask a violation.
+func Run(cfg *Config, analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		var raw []Diagnostic
+		sups := collectSuppressions(pkg.Fset, pkg.Files, known, func(d Diagnostic) {
+			out = append(out, d)
+		})
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				PkgPath:  pkg.PkgPath,
+				Cfg:      cfg,
+				report:   func(d Diagnostic) { raw = append(raw, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, err
+			}
+		}
+		for _, d := range raw {
+			if !suppressed(d, sups, pkg.Fset) {
+				out = append(out, d)
+			}
+		}
+	}
+	sortDiagnostics(out)
+	return out, nil
+}

@@ -1,0 +1,79 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"cloudybench/internal/lint"
+)
+
+// TestDetlintSelfCheck is the contract's anchor: the determinism suite
+// must run clean over the whole module — exactly what CI's hard-fail
+// `go run ./cmd/detlint ./...` step enforces. A failure here means either
+// a real determinism hazard slipped in or an exception lost its
+// //detlint:allow comment.
+func TestDetlintSelfCheck(t *testing.T) {
+	loader := sharedLoader(t)
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; the module walk looks broken", len(pkgs))
+	}
+	diags, err := lint.Run(lint.DefaultConfig(), lint.Analyzers(), pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestDetlintFlagsFixtures asserts the suite still has teeth: run
+// CLI-style over each analyzer's fixture package (which the ./... walk
+// skips, but which the config's testdata entry marks deterministic), every
+// one must fail with at least one diagnostic from its own analyzer.
+func TestDetlintFlagsFixtures(t *testing.T) {
+	loader := sharedLoader(t)
+	for _, rule := range []string{"wallclock", "globalrand", "maporder", "rawgo", "floatfold"} {
+		pkgs, err := loader.Load("./internal/lint/testdata/src/" + rule)
+		if err != nil {
+			t.Fatalf("%s: %v", rule, err)
+		}
+		diags, err := lint.Run(lint.DefaultConfig(), lint.Analyzers(), pkgs)
+		if err != nil {
+			t.Fatalf("%s: %v", rule, err)
+		}
+		found := false
+		for _, d := range diags {
+			if d.Analyzer == rule {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("fixture %s produced no %s diagnostics under the default config", rule, rule)
+		}
+	}
+}
+
+// TestDiagnosticFormat pins the vet-style rendering the CI step greps.
+func TestDiagnosticFormat(t *testing.T) {
+	loader := sharedLoader(t)
+	pkgs, err := loader.Load("./internal/lint/testdata/src/wallclock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.Run(lint.DefaultConfig(), lint.Analyzers(), pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("expected diagnostics")
+	}
+	s := diags[0].String()
+	if !strings.Contains(s, "wallclock.go:") || !strings.Contains(s, ": wallclock: ") {
+		t.Errorf("diagnostic format %q lost the file:line: analyzer: message shape", s)
+	}
+}

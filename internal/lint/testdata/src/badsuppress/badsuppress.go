@@ -1,0 +1,20 @@
+// Fixture for suppression validation: a suppression must name a known
+// rule and carry a reason, or it is reported instead of honoured.
+package badsuppress
+
+import "time"
+
+func missingReason() {
+	//detlint:allow wallclock() // want `suppression for wallclock needs a reason`
+	_ = time.Now() // want `time\.Now reads the wall clock`
+}
+
+func unknownRule() {
+	//detlint:allow clockwall(typo in the rule name) // want `suppression names unknown rule "clockwall"`
+	_ = time.Now() // want `time\.Now reads the wall clock`
+}
+
+func malformed() {
+	//detlint:allow wallclock no parens // want `malformed suppression`
+	_ = time.Now() // want `time\.Now reads the wall clock`
+}

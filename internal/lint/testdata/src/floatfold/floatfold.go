@@ -1,0 +1,87 @@
+// Fixture for the floatfold analyzer: folding floats in map iteration
+// order is a violation (float addition is not associative); integer folds,
+// keyed per-entry accumulation, and folds over sorted keys are not.
+package floatfold
+
+import "sort"
+
+func badSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `float accumulation \+= in map iteration order`
+	}
+	return sum
+}
+
+func badSpelledOut(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total = total + v // want `float accumulation in map iteration order`
+	}
+	return total
+}
+
+func badProduct(m map[string]float64) float64 {
+	p := 1.0
+	for _, v := range m {
+		p *= v // want `float accumulation \*= in map iteration order`
+	}
+	return p
+}
+
+type agg struct {
+	sum float64
+}
+
+func (a *agg) badField(m map[string]float64) {
+	for _, v := range m {
+		a.sum += v // want `float accumulation \+= in map iteration order`
+	}
+}
+
+func goodInt(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v // integer addition commutes exactly
+	}
+	return n
+}
+
+func goodSortedFold(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+type bucket struct {
+	total float64
+}
+
+func goodKeyed(m map[string]float64) map[string]*bucket {
+	out := make(map[string]*bucket)
+	for k, v := range m {
+		b := out[k]
+		if b == nil {
+			b = &bucket{}
+			out[k] = b
+		}
+		b.total += v // keyed per-entry accumulation, not a fold
+	}
+	return out
+}
+
+func allowed(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		//detlint:allow floatfold(order error is below report precision here)
+		sum += v
+	}
+	return sum
+}

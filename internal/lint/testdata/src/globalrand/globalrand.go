@@ -1,0 +1,39 @@
+// Fixture for the globalrand analyzer: package-level math/rand and
+// math/rand/v2 functions share process-global state and are violations;
+// explicitly-seeded local generators (the raw material of internal/rng)
+// and type references are fine.
+package globalrand
+
+import (
+	"math/rand"
+
+	randv2 "math/rand/v2"
+)
+
+func bad() {
+	_ = rand.Int()        // want `rand\.Int uses the process-global generator`
+	_ = rand.Intn(10)     // want `rand\.Intn uses the process-global generator`
+	_ = rand.Float64()    // want `rand\.Float64 uses the process-global generator`
+	_ = rand.Perm(4)      // want `rand\.Perm uses the process-global generator`
+	rand.Shuffle(2, func(i, j int) {}) // want `rand\.Shuffle uses the process-global generator`
+}
+
+func badV2() {
+	_ = randv2.IntN(10)   // want `rand\.IntN uses the process-global generator`
+	_ = randv2.Float64()  // want `rand\.Float64 uses the process-global generator`
+}
+
+func good() float64 {
+	r := rand.New(rand.NewSource(42)) // seeded local stream: deterministic
+	z := rand.NewZipf(r, 1.1, 1.0, 100)
+	_ = z.Uint64()
+	var src rand.Source // type references are fine
+	_ = src
+	p := randv2.New(randv2.NewPCG(1, 2))
+	return r.Float64() + p.Float64()
+}
+
+func allowed() {
+	//detlint:allow globalrand(seeding the exempt stream home is tested elsewhere)
+	_ = rand.Uint32()
+}

@@ -1,0 +1,10 @@
+// Fixture for globalrand's exemption: a package configured as the blessed
+// randomness home (internal/rng in the real tree) may use math/rand
+// freely — no want comments anywhere.
+package globalrand_exempt
+
+import "math/rand"
+
+func seed(n int) int {
+	return rand.Intn(n)
+}

@@ -1,0 +1,95 @@
+// Fixture for the maporder analyzer: map iteration that emits output or
+// escapes results in iteration order is a violation; the collect-then-sort
+// idiom, order-insensitive map writes, and reasoned suppressions are not.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cloudybench/internal/report"
+)
+
+func badPrint(m map[string]int) {
+	for k, v := range m { // want `map iteration calls fmt\.Printf`
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+func badEscape(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `appends to out, which outlives the loop unsorted`
+		out = append(out, k)
+	}
+	return out
+}
+
+func badWriter(m map[string]int, b *strings.Builder) {
+	for k := range m { // want `map iteration calls \.WriteString`
+		b.WriteString(k)
+	}
+}
+
+func badEmitter(m map[string]int, t *report.Table) {
+	for k := range m { // want `map iteration calls report\.AddRow`
+		t.AddRow(k)
+	}
+}
+
+type verdict struct {
+	details []string
+}
+
+// fail is the one-level interprocedural case: it formats a message and
+// appends it to a field, so calling it in map order stores rendered text
+// in random order.
+func (v *verdict) fail(format string, args ...any) {
+	v.details = append(v.details, fmt.Sprintf(format, args...))
+}
+
+func badHelper(m map[string]int, v *verdict) {
+	for k, n := range m { // want `calls fail, which emits or escapes in call order`
+		if n < 0 {
+			v.fail("negative count for %s", k)
+		}
+	}
+}
+
+func goodCollectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // exempt: keys are sorted before use
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func goodMapWrite(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m { // writing a map is order-insensitive
+		out[k] = v * 2
+	}
+	return out
+}
+
+func goodLoopLocal(m map[string][]int) int {
+	total := 0
+	for _, vs := range m { // loop-local append never leaves the iteration
+		var evens []int
+		for _, v := range vs {
+			if v%2 == 0 {
+				evens = append(evens, v)
+			}
+		}
+		total += len(evens)
+	}
+	return total
+}
+
+func allowed(m map[string]int) {
+	//detlint:allow maporder(debug dump on a panic path, never in a report)
+	for k := range m {
+		fmt.Println(k)
+	}
+}

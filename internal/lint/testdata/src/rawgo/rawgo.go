@@ -1,0 +1,61 @@
+// Fixture for the rawgo analyzer: goroutines, channels, select, and
+// sync.WaitGroup are violations in deterministic packages; sync.Mutex and
+// atomics are allowed, and a reasoned suppression documents the blessed
+// worker-pool exception.
+package rawgo
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+func spin() {}
+
+func badGo() {
+	go spin() // want `bare go statement`
+}
+
+func badChan() {
+	ch := make(chan int, 1) // want `channel type`
+	ch <- 1                 // want `channel send`
+	_ = <-ch                // want `channel receive`
+	close(ch)               // want `close on a channel`
+}
+
+func badSelect(stop chan struct{}) { // want `channel type`
+	select { // want `select statement`
+	case <-stop: // want `channel receive`
+	default:
+	}
+}
+
+func badRange(events chan int) int { // want `channel type`
+	n := 0
+	for range events { // want `range over channel`
+		n++
+	}
+	return n
+}
+
+func badWaitGroup() {
+	var wg sync.WaitGroup // want `sync\.WaitGroup joins real goroutines; deterministic packages wait in virtual time \(sim\.Group\)`
+	wg.Add(1)
+	wg.Done()
+	wg.Wait()
+}
+
+func goodSync() int64 {
+	// Mutexes and atomics do not spawn or join real goroutines; they are
+	// legitimate for guarding configuration state.
+	var mu sync.Mutex
+	var n atomic.Int64
+	mu.Lock()
+	n.Add(1)
+	mu.Unlock()
+	return n.Load()
+}
+
+func allowedPool() {
+	//detlint:allow rawgo(bounded worker pool; results merged in declaration order)
+	go spin()
+}

@@ -1,0 +1,38 @@
+// Fixture for the wallclock analyzer: wall-clock reads are violations,
+// duration arithmetic and type uses are not, aliased imports are still
+// caught, and a reasoned suppression silences a site.
+package wallclock
+
+import (
+	"time"
+
+	tm "time"
+)
+
+func bad() {
+	_ = time.Now()                 // want `time\.Now reads the wall clock`
+	time.Sleep(time.Millisecond)   // want `time\.Sleep reads the wall clock`
+	_ = time.Since(time.Time{})    // want `time\.Since reads the wall clock`
+	_ = time.After(time.Second)    // want `time\.After reads the wall clock`
+	_ = time.NewTimer(time.Second) // want `time\.NewTimer reads the wall clock`
+	t := time.NewTicker(time.Second) // want `time\.NewTicker reads the wall clock`
+	t.Stop()
+}
+
+func aliased() {
+	_ = tm.Now() // want `time\.Now reads the wall clock`
+}
+
+func good() time.Duration {
+	// Duration values, constants, and parsing never touch the machine
+	// clock; the testbed measures virtual durations with them.
+	d, _ := time.ParseDuration("3ms")
+	var at time.Time
+	_ = at
+	return d + 2*time.Millisecond
+}
+
+func allowed() {
+	//detlint:allow wallclock(operator-facing progress logging, never in a result)
+	_ = time.Now()
+}

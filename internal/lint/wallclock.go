@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallClockFuncs are the time-package functions that read or schedule
+// against the machine clock. Types and constants (time.Duration,
+// time.Millisecond) stay legal: the testbed measures virtual durations, it
+// just must never sample real ones.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// WallClock forbids wall-clock time in deterministic packages. A run's
+// report must be a pure function of its seed; time.Now() makes it a
+// function of the host's scheduler and clock instead. Virtual time comes
+// from the sim kernel (sim.Sim.Now, Proc.Sleep).
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc: "forbid time.Now/Since/Sleep/After/NewTimer/NewTicker in deterministic packages; " +
+		"virtual time must come from the sim clock",
+	Run: runWallClock,
+}
+
+func runWallClock(pass *Pass) error {
+	if !pass.Cfg.IsDeterministic(pass.PkgPath) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if importedPackage(pass.Info, sel.X) != "time" {
+				return true
+			}
+			if _, isFunc := pass.Info.Uses[sel.Sel].(*types.Func); !isFunc {
+				return true
+			}
+			if wallClockFuncs[sel.Sel.Name] {
+				pass.Report(sel.Pos(),
+					"time.%s reads the wall clock; deterministic packages must take time from the sim kernel (sim.Sim.Now / Proc.Sleep)",
+					sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}
