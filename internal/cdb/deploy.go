@@ -2,6 +2,7 @@ package cdb
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"cloudybench/internal/autoscale"
@@ -76,6 +77,14 @@ type Deployment struct {
 	Scaler  *autoscale.Autoscaler
 	// Remote is the shared remote buffer pool (CDB4 only).
 	Remote *storage.BufferPool
+	// Net is the deployment's endpoint registry: "client", "ctrl", and every
+	// node short name ("rw", "ro0", ...), with the replication links
+	// registered on their node-to-node paths. Partition chaos events and the
+	// reachability oracles route through it.
+	Net *netsim.Net
+	// Fence is the deployment-wide epoch-numbered write lease: every node's
+	// commit path checks it, and fail-overs advance it before promoting.
+	Fence *storage.Fence
 
 	nodes      []*node.Node
 	storeQueue *sim.Queue
@@ -91,7 +100,10 @@ func Deploy(s *sim.Sim, prof Profile, opts Options) (*Deployment, error) {
 		Opts:    opts,
 		S:       s,
 		Dataset: core.NewDataset(opts.SF, opts.Seed),
+		Net:     netsim.NewNet(),
 	}
+	d.Net.AddEndpoint("client")
+	d.Net.AddEndpoint("ctrl")
 	bufBytes := prof.MemoryBytes
 	if opts.BufferBytes > 0 {
 		bufBytes = opts.BufferBytes
@@ -137,6 +149,7 @@ func Deploy(s *sim.Sim, prof Profile, opts Options) (*Deployment, error) {
 			cfg.CheckpointInterval = prof.CheckpointEvery
 		}
 		n := node.New(s, cfg, backend)
+		d.Net.AddEndpoint(name)
 		if !opts.NoDataset {
 			if err := d.Dataset.CreateTables(n.DB); err != nil {
 				return nil, err
@@ -163,10 +176,18 @@ func Deploy(s *sim.Sim, prof Profile, opts Options) (*Deployment, error) {
 		cfg := prof.Replication
 		cfg.Name = fmt.Sprintf("%s->%s", prof.Kind, target.Name)
 		cfg.Tracer = opts.Tracer
-		if cfg.Link == nil && !prof.LocalStorage {
+		if cfg.Link == nil {
+			// Every replication path gets a real link — RDS's coupled
+			// in-box path included (Local fabric, negligible latency) — so
+			// partition chaos can sever any SUT's replication.
 			cfg.Link = netsim.NewLink(s, prof.Fabric, prof.NetGbps)
 			cfg.Link.SetTracer(opts.Tracer)
 			d.links = append(d.links, cfg.Link)
+			from := "rw"
+			if d.Cluster != nil {
+				from = shortName(d.Cluster.RW())
+			}
+			d.Net.Register(from, shortName(target), cfg.Link)
 		}
 		st := replication.NewStream(s, cfg, target)
 		if d.Remote != nil {
@@ -181,6 +202,20 @@ func Deploy(s *sim.Sim, prof Profile, opts Options) (*Deployment, error) {
 	}
 	d.Cluster = cluster.New(s, string(prof.Kind), prof.Failover, rw, replicas, factory)
 	d.Cluster.SetTracer(opts.Tracer)
+
+	// The write lease: every node's commit path checks the fence; the
+	// initial RW holds the initial epoch, and fail-overs advance it. The
+	// control plane's reachability oracle rides the "ctrl" network path.
+	d.Fence = storage.NewFence()
+	for _, n := range d.nodes {
+		n.SetFence(d.Fence)
+	}
+	rw.GrantEpoch(d.Fence.Epoch())
+	d.Cluster.SetFence(d.Fence)
+	d.Cluster.SetReachable(func(n *node.Node) bool {
+		sn := shortName(n)
+		return d.Net.Reachable("ctrl", sn) && d.Net.Reachable(sn, "ctrl")
+	})
 	if opts.Tracer != nil {
 		for _, l := range d.links {
 			l.SetTracer(opts.Tracer)
@@ -242,6 +277,16 @@ func (d *Deployment) makeBackend(name string) node.StorageBackend {
 	return store
 }
 
+// shortName strips the profile prefix from a node name ("rds/rw" -> "rw"),
+// matching the deployment's netsim endpoint names.
+func shortName(n *node.Node) string {
+	name := n.Name
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	return name
+}
+
 // RW returns the current read-write node.
 func (d *Deployment) RW() *node.Node { return d.Cluster.RW() }
 
@@ -259,11 +304,31 @@ func (d *Deployment) Streams() []*replication.Stream { return d.streams }
 // target set. RDS deployments, being local-storage, have none.
 func (d *Deployment) Links() []*netsim.Link { return d.links }
 
-// Shutdown stops all background processes so the simulation can drain.
+// StartDetector launches the profile's partition failure detector (a no-op
+// for profiles that don't configure one).
+func (d *Deployment) StartDetector() {
+	d.Cluster.StartDetector(d.Profile.Detector)
+}
+
+// ClientReachable reports whether client traffic currently reaches a node —
+// the resilient client's reachability hook (core.Config.Reachable).
+func (d *Deployment) ClientReachable(n *node.Node) bool {
+	sn := shortName(n)
+	return d.Net.Reachable("client", sn) && d.Net.Reachable(sn, "client")
+}
+
+// ReadCandidates returns every compute node — the resilient client's reroute
+// pool (the client itself filters by state, breaker, and reachability).
+func (d *Deployment) ReadCandidates() []*node.Node { return d.nodes }
+
+// Shutdown stops all background processes so the simulation can drain. Any
+// still-cut network path is healed first: senders blocked mid-partition must
+// wake, and the failure detector must stop, before the drain check runs.
 func (d *Deployment) Shutdown() {
 	if d.Scaler != nil {
 		d.Scaler.Stop()
 	}
+	d.Net.HealAll()
 	d.Cluster.Shutdown()
 }
 

@@ -83,6 +83,11 @@ type Profile struct {
 	// Fail-over.
 	Failover cluster.FailoverConfig
 
+	// Detector calibrates the partition failure detector: control-plane
+	// heartbeats on virtual time with phi-style suspicion driving automated
+	// lease-fenced promotion (or await-heal restart, per the architecture).
+	Detector cluster.DetectorConfig
+
 	// Autoscale is nil for fixed-size SUTs.
 	Autoscale *autoscale.Config
 
@@ -161,6 +166,12 @@ func rdsProfile() Profile {
 			ClearBufferOnRestart: true,
 			RecoveryRamp:         18 * time.Second,
 		},
+		// RDS has no promotable shared-storage replica: a partitioned primary
+		// can only be waited out and restarted in place — the blunt recovery
+		// that dominates its partition MTTR.
+		Detector: cluster.DetectorConfig{
+			Interval: time.Second, Suspicion: 3,
+		},
 		Tenancy: TenancyIsolated,
 		PackageNode: pricing.Package{
 			VCores: 4, MemoryGB: 16, StorageGB: 42, IOPS: 1000, NetGbps: 10,
@@ -212,6 +223,18 @@ func cdb1Profile() Profile {
 			RORestartServiceTime: 5 * time.Second,
 			ClearBufferOnRestart: true,
 			RecoveryRamp:         8 * time.Second,
+			// Partition fail-over phases: the storage tier already holds
+			// materialized pages, so switch-over is quick once the lease
+			// advances.
+			PreparePhase: time.Second,
+			SwitchPhase:  2 * time.Second,
+			RecoverPhase: 4 * time.Second,
+		},
+		// Quorum storage spans partitions: a reachable RO can be promoted
+		// under a fresh lease epoch without waiting for the heal.
+		Detector: cluster.DetectorConfig{
+			Interval: 500 * time.Millisecond, Suspicion: 3,
+			PromoteOnPartition: true,
 		},
 		Autoscale: &autoscale.Config{
 			MinVCores: 1, MaxVCores: 4, Granularity: 0.25,
@@ -275,6 +298,17 @@ func cdb2Profile() Profile {
 			// Recovery crosses the separated log and page stores, the
 			// longest catch-up route (Table VIII: highest R).
 			RecoveryRamp: 24 * time.Second,
+			// Partition fail-over crosses the split log and page services
+			// twice (collect LSNs, then replay): the slowest promote path.
+			PreparePhase: 2 * time.Second,
+			SwitchPhase:  3 * time.Second,
+			RecoverPhase: 6 * time.Second,
+		},
+		// The pool's shared control plane heartbeats lazily and demands more
+		// missed beats before acting — tenants share the detector.
+		Detector: cluster.DetectorConfig{
+			Interval: time.Second, Suspicion: 4,
+			PromoteOnPartition: true,
 		},
 		Autoscale: &autoscale.Config{
 			MinVCores: 0.5, MaxVCores: 4, Granularity: 0.5,
@@ -332,6 +366,16 @@ func cdb3Profile() Profile {
 			RORestartServiceTime: 5 * time.Second,
 			ClearBufferOnRestart: true,
 			RecoveryRamp:         14 * time.Second,
+			// Partition fail-over reschedules compute against the safekeeper
+			// quorum; parallel replay keeps the recover phase short.
+			PreparePhase: time.Second,
+			SwitchPhase:  2 * time.Second,
+			RecoverPhase: 3 * time.Second,
+		},
+		// Safekeeper quorum survives the minority side: promote quickly.
+		Detector: cluster.DetectorConfig{
+			Interval: 500 * time.Millisecond, Suspicion: 3,
+			PromoteOnPartition: true,
 		},
 		Autoscale: &autoscale.Config{
 			MinVCores: 0.25, MaxVCores: 4, Granularity: 0.25,
@@ -400,6 +444,12 @@ func cdb4Profile() Profile {
 			// The remote buffer pool survives node restarts, so caches
 			// stay warm — the paper credits it for the fast recovery.
 			ClearBufferOnRestart: true,
+		},
+		// Heartbeats ride the RDMA fabric: the tightest detector and the
+		// fastest lease-fenced promotion of the five SUTs.
+		Detector: cluster.DetectorConfig{
+			Interval: 250 * time.Millisecond, Suspicion: 3,
+			PromoteOnPartition: true,
 		},
 		Tenancy: TenancyIsolated,
 		PackageNode: pricing.Package{

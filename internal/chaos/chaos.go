@@ -15,6 +15,8 @@ package chaos
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 	"time"
 
 	"cloudybench/internal/cluster"
@@ -50,6 +52,20 @@ const (
 	// CacheDrop evicts every 2nd resident page of the target node's buffer
 	// pool (an eviction storm), forcing re-fetch traffic.
 	CacheDrop Kind = "cache-drop"
+	// Partition symmetrically cuts every network path from GroupA endpoints
+	// to GroupB endpoints (and back). With a positive Duration the cut
+	// auto-heals; with zero Duration it stays until an explicit Heal event.
+	Partition Kind = "partition"
+	// AsymPartition cuts only GroupA -> GroupB (a gray failure: the primary
+	// can still hear the cluster but not answer it, or vice versa).
+	AsymPartition Kind = "asym-partition"
+	// Heal removes the cuts between GroupA and GroupB, or every active cut
+	// when both groups are empty.
+	Heal Kind = "heal"
+	// DelaySpike degrades every link between GroupA and GroupB with
+	// ExtraLatency and BWFactor for the duration — packets are late, not
+	// lost.
+	DelaySpike Kind = "delay-spike"
 )
 
 // Event is one scheduled fault.
@@ -65,9 +81,12 @@ type Event struct {
 	Target string
 	// Rate is the IOErrorBurst failure probability.
 	Rate float64
-	// ExtraLatency / BWFactor parameterize LinkDegrade.
+	// ExtraLatency / BWFactor parameterize LinkDegrade and DelaySpike.
 	ExtraLatency time.Duration
 	BWFactor     float64
+	// GroupA / GroupB name the endpoint groups of Partition, AsymPartition,
+	// Heal, and DelaySpike events (netsim.Net endpoint names).
+	GroupA, GroupB []string
 }
 
 // Schedule is a set of fault events. Events may overlap.
@@ -95,6 +114,9 @@ func Standard(span time.Duration) Schedule {
 type Targets struct {
 	Cluster *cluster.Cluster
 	Links   []*netsim.Link
+	// Net is the deployment's endpoint registry, required by partition,
+	// heal, and delay-spike events.
+	Net *netsim.Net
 	// Seed drives the IO-error-burst coin flips (deterministic per node).
 	Seed int64
 }
@@ -115,16 +137,93 @@ type Injector struct {
 	applied []Applied
 }
 
-// NewInjector binds a schedule to a deployment's fault surface.
-func NewInjector(s *sim.Sim, sched Schedule, t Targets) *Injector {
-	return &Injector{s: s, sched: sched, targets: t}
+// NewInjector binds a schedule to a deployment's fault surface, validating
+// every event against it first: a malformed schedule (negative times, rates
+// outside [0,1], unknown targets or endpoints) is a returned error, not a
+// silently skipped fault.
+func NewInjector(s *sim.Sim, sched Schedule, t Targets) (*Injector, error) {
+	inj := &Injector{s: s, sched: sched, targets: t}
+	if err := Validate(sched, t); err != nil {
+		return nil, err
+	}
+	return inj, nil
 }
 
-// Start spawns one injector process per event. Events fire at their
-// scheduled virtual times regardless of each other; overlaps compose.
+// Validate checks a schedule against a fault surface without running it.
+func Validate(sched Schedule, t Targets) error {
+	lookup := func(target string) *cluster.Member {
+		if t.Cluster == nil {
+			return nil
+		}
+		return (&Injector{targets: t}).member(target)
+	}
+	for i, ev := range sched.Events {
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("chaos: event %d (%s@%v): %s", i, ev.Kind, ev.At, fmt.Sprintf(format, args...))
+		}
+		if ev.At < 0 {
+			return fail("negative At")
+		}
+		if ev.Duration < 0 {
+			return fail("negative Duration")
+		}
+		if ev.Rate < 0 || ev.Rate > 1 {
+			return fail("Rate %v outside [0,1]", ev.Rate)
+		}
+		switch ev.Kind {
+		case DiskStall, IOErrorBurst, ReplicaCrash, NodePause, CacheDrop:
+			if lookup(ev.Target) == nil {
+				return fail("unknown node target %q", ev.Target)
+			}
+		case LinkDegrade:
+			// Applies to all deployment links; nothing to resolve.
+		case Partition, AsymPartition, DelaySpike:
+			if t.Net == nil {
+				return fail("requires a Net (no endpoint registry on the fault surface)")
+			}
+			if len(ev.GroupA) == 0 || len(ev.GroupB) == 0 {
+				return fail("both endpoint groups must be non-empty")
+			}
+			if err := knownEndpoints(t.Net, ev.GroupA, ev.GroupB); err != nil {
+				return fail("%v", err)
+			}
+		case Heal:
+			if t.Net == nil {
+				return fail("requires a Net (no endpoint registry on the fault surface)")
+			}
+			if (len(ev.GroupA) == 0) != (len(ev.GroupB) == 0) {
+				return fail("heal groups must be both empty (heal all) or both non-empty")
+			}
+			if err := knownEndpoints(t.Net, ev.GroupA, ev.GroupB); err != nil {
+				return fail("%v", err)
+			}
+		default:
+			return fail("unknown fault kind")
+		}
+	}
+	return nil
+}
+
+func knownEndpoints(net *netsim.Net, groups ...[]string) error {
+	for _, g := range groups {
+		for _, name := range g {
+			if !net.HasEndpoint(name) {
+				return fmt.Errorf("unknown endpoint %q", name)
+			}
+		}
+	}
+	return nil
+}
+
+// Start spawns one injector process per event, in stable (At, declaration)
+// order so same-instant events always fire in declaration order. Events
+// fire at their scheduled virtual times regardless of each other; overlaps
+// compose.
 func (inj *Injector) Start() {
-	for i := range inj.sched.Events {
-		ev := inj.sched.Events[i]
+	events := append([]Event(nil), inj.sched.Events...)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	for i := range events {
+		ev := events[i]
 		name := fmt.Sprintf("chaos/%s@%v", ev.Kind, ev.At)
 		inj.s.Go(name, func(p *sim.Proc) {
 			p.Sleep(ev.At)
@@ -149,7 +248,11 @@ func (inj *Injector) member(target string) *cluster.Member {
 }
 
 func (inj *Injector) fire(p *sim.Proc, ev Event) {
-	inj.applied = append(inj.applied, Applied{At: p.Elapsed(), Kind: ev.Kind, Target: ev.Target})
+	target := ev.Target
+	if len(ev.GroupA) > 0 || len(ev.GroupB) > 0 {
+		target = strings.Join(ev.GroupA, ",") + "|" + strings.Join(ev.GroupB, ",")
+	}
+	inj.applied = append(inj.applied, Applied{At: p.Elapsed(), Kind: ev.Kind, Target: target})
 	switch ev.Kind {
 	case DiskStall:
 		if m := inj.member(ev.Target); m != nil {
@@ -188,5 +291,27 @@ func (inj *Injector) fire(p *sim.Proc, ev Event) {
 		if m := inj.member(ev.Target); m != nil {
 			m.Node.Buf.DropEvery(2)
 		}
+	case Partition:
+		inj.targets.Net.Partition(ev.GroupA, ev.GroupB, true)
+		if ev.Duration > 0 {
+			p.Sleep(ev.Duration)
+			inj.targets.Net.Heal(ev.GroupA, ev.GroupB)
+		}
+	case AsymPartition:
+		inj.targets.Net.Partition(ev.GroupA, ev.GroupB, false)
+		if ev.Duration > 0 {
+			p.Sleep(ev.Duration)
+			inj.targets.Net.Heal(ev.GroupA, ev.GroupB)
+		}
+	case Heal:
+		if len(ev.GroupA) == 0 && len(ev.GroupB) == 0 {
+			inj.targets.Net.HealAll()
+		} else {
+			inj.targets.Net.Heal(ev.GroupA, ev.GroupB)
+		}
+	case DelaySpike:
+		inj.targets.Net.Spike(ev.GroupA, ev.GroupB, ev.ExtraLatency, ev.BWFactor)
+		p.Sleep(ev.Duration)
+		inj.targets.Net.Unspike(ev.GroupA, ev.GroupB)
 	}
 }

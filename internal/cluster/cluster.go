@@ -96,6 +96,18 @@ type Cluster struct {
 	timeline []PhaseEvent
 	rrNext   int
 	trace    *obs.Tracer
+
+	// fence is the deployment-wide write lease (nil = no fencing); every
+	// fail-over advances its epoch before promoting, so a partitioned old
+	// RW is fenced at storage rather than trusted to step down.
+	fence *storage.Fence
+
+	// reachable answers whether the control plane currently reaches a node
+	// (nil = always). The failure detector heartbeats through it.
+	reachable func(*node.Node) bool
+	detCfg    DetectorConfig
+	detStop   bool
+	detOn     bool
 }
 
 // SetTracer attaches (or, with nil, detaches) the observability tracer.
@@ -197,9 +209,17 @@ func (c *Cluster) mark(phase string) {
 	c.timeline = append(c.timeline, PhaseEvent{At: c.S.Elapsed(), Phase: phase})
 }
 
-// Shutdown stops all replication streams and checkpointers so the
-// simulation can drain.
+// SetFence attaches the deployment-wide write lease so fail-overs advance
+// the epoch (and fence the old RW) before promoting.
+func (c *Cluster) SetFence(f *storage.Fence) { c.fence = f }
+
+// Fence returns the attached write lease (nil if none).
+func (c *Cluster) Fence() *storage.Fence { return c.fence }
+
+// Shutdown stops all replication streams, checkpointers, and the failure
+// detector so the simulation can drain.
 func (c *Cluster) Shutdown() {
+	c.StopDetector()
 	for _, m := range c.members {
 		if m.Stream != nil {
 			m.Stream.Stop()
@@ -284,6 +304,22 @@ func (c *Cluster) promoteFailover(p *sim.Proc, old *Member) {
 	}
 	c.mark("RW failure detected")
 
+	// Lease: advance the epoch first. From this instant the old RW — even
+	// if it is actually alive behind a partition — has its commits refused
+	// by shared storage, so nothing below races a still-writing primary.
+	var epoch uint64
+	if c.fence != nil {
+		epoch = c.fence.Advance(c.S.Elapsed())
+	}
+	// Catch-up: apply every committed-but-unapplied record to the promotion
+	// target before it takes over. The committed log lives in shared/quorum
+	// storage, so the target can drain it even when the network path to the
+	// old RW is gone; skipping this would silently lose the commits that
+	// were still in the replication pipeline (divergence after fail-over).
+	if target.Stream != nil {
+		target.Stream.DrainPending(p)
+	}
+
 	// Prepare: cluster manager notifies all nodes to refuse requests and
 	// collects the latest page/checkpoint LSNs.
 	c.mark("prepare: refuse requests, collect LSN")
@@ -300,10 +336,6 @@ func (c *Cluster) promoteFailover(p *sim.Proc, old *Member) {
 	t0 = c.S.Elapsed()
 	p.Sleep(c.cfg.SwitchPhase)
 	c.tracePhase("switch-over", t0, c.S.Elapsed())
-	if target.Stream != nil {
-		target.Stream.Stop()
-		target.Stream = nil
-	}
 	old.Node.OnCommit = nil
 	old.Role = RO
 	target.Role = RW
@@ -319,6 +351,19 @@ func (c *Cluster) promoteFailover(p *sim.Proc, old *Member) {
 	// New RW serves (ramping while it rebuilds), and the old RW rejoins
 	// as a replica via a fresh stream.
 	target.Node.SetState(node.Running)
+	if target.Stream != nil {
+		// Final drain, now that the target accepts applies again: commits
+		// that passed the fence check just before the epoch advanced were
+		// still buying WAL durability during the first drain and published
+		// afterwards; they are in the pipeline by now and must land before
+		// the old stream dies, or they exist only on the demoted primary.
+		target.Stream.DrainPending(p)
+		target.Stream.Stop()
+		target.Stream = nil
+	}
+	if c.fence != nil {
+		target.Node.GrantEpoch(epoch)
+	}
 	c.mark("RW' serving requests")
 	c.rampUp(target.Node)
 	if c.factory != nil {

@@ -36,18 +36,20 @@ func (t TxnType) String() string {
 // counts in per-second buckets (every TPS figure), latency reservoirs, and
 // error counts (requests rejected during fail-over outages).
 type Collector struct {
-	commits *meter.Counter
-	errors  *meter.Counter
-	latency *meter.Reservoir
-	byType  [5]int64
+	commits   *meter.Counter
+	errors    *meter.Counter
+	terminals *meter.Counter
+	latency   *meter.Reservoir
+	byType    [5]int64
 }
 
 // NewCollector returns an empty collector with 1-second TPS buckets.
 func NewCollector() *Collector {
 	return &Collector{
-		commits: meter.NewCounter(time.Second),
-		errors:  meter.NewCounter(time.Second),
-		latency: meter.NewReservoir(),
+		commits:   meter.NewCounter(time.Second),
+		errors:    meter.NewCounter(time.Second),
+		terminals: meter.NewCounter(time.Second),
+		latency:   meter.NewReservoir(),
 	}
 }
 
@@ -68,8 +70,19 @@ func (c *Collector) RecordError(at time.Duration) {
 // Commits returns the total committed transactions.
 func (c *Collector) Commits() int64 { return c.commits.Total() }
 
+// RecordTerminal records one transaction abandoned after exhausting its
+// retry budget (the resilient client's give-up signal; each failed attempt
+// was already counted as an error).
+func (c *Collector) RecordTerminal(at time.Duration) {
+	c.terminals.Add(at, 1)
+}
+
 // Errors returns the total failed requests.
 func (c *Collector) Errors() int64 { return c.errors.Total() }
+
+// Terminals returns the total transactions abandoned after their retry
+// budget was exhausted.
+func (c *Collector) Terminals() int64 { return c.terminals.Total() }
 
 // CountByType returns commits of one transaction type.
 func (c *Collector) CountByType(t TxnType) int64 {

@@ -80,13 +80,23 @@ type Config struct {
 	Write func() *node.Node
 	// Read returns the node for read-only transactions (round-robin RO).
 	Read func() *node.Node
+	// ReadCandidates, if set, lists every node reads may fall back to when
+	// the primary pick is unusable (down breaker, unreachable) —
+	// reroute-on-open. Nil disables rerouting.
+	ReadCandidates func() []*node.Node
+	// Reachable, if set, answers whether the client currently reaches a
+	// node (wired to netsim.Net partitions). Nil means always reachable.
+	Reachable func(*node.Node) bool
 	// Collector receives commits/errors; required.
 	Collector *Collector
-	// RetryBackoff is the client pause after a failed request (node down),
-	// matching a driver's reconnect loop. Default 100 ms.
+	// RetryBackoff is the base client backoff after a failed request; kept
+	// for compatibility, it seeds Retry.BackoffBase. Default 100 ms.
 	RetryBackoff time.Duration
-	// Tracer, if non-nil, opens a trace per transaction attempt and records
-	// the retry backoff as a fault-retry span. Nil disables tracing.
+	// Retry tunes the resilient client (backoff, attempt budget, breaker);
+	// zero fields take defaults (see RetryPolicy).
+	Retry RetryPolicy
+	// Tracer, if non-nil, opens a trace per transaction and records retry
+	// backoffs, breaker-open windows, and reroutes. Nil disables tracing.
 	Tracer *obs.Tracer
 }
 
@@ -96,12 +106,19 @@ type Config struct {
 type Runner struct {
 	s     *sim.Sim
 	cfg   Config
+	pol   RetryPolicy
 	group *sim.Group
 
 	target     int
 	spawned    int
 	stopped    bool
 	activeCond *sim.Cond
+
+	// breakers holds the shared per-node circuit breakers (lookup-only map,
+	// keyed by node pointer — never ranged).
+	breakers     map[*node.Node]*Breaker
+	reroutes     int64
+	breakerOpens int64
 }
 
 // NewRunner creates a stopped runner; call SetConcurrency to start traffic.
@@ -109,16 +126,20 @@ func NewRunner(s *sim.Sim, cfg Config) *Runner {
 	if cfg.Collector == nil {
 		panic("core: Runner requires a Collector")
 	}
-	if cfg.RetryBackoff <= 0 {
-		cfg.RetryBackoff = 100 * time.Millisecond
-	}
 	if cfg.Distribution == "" {
 		cfg.Distribution = "uniform"
 	}
 	if cfg.LatestK <= 0 {
 		cfg.LatestK = 10
 	}
-	return &Runner{s: s, cfg: cfg, group: sim.NewGroup(s), activeCond: sim.NewCond(s)}
+	return &Runner{
+		s:          s,
+		cfg:        cfg,
+		pol:        cfg.Retry.withDefaults(cfg.RetryBackoff),
+		group:      sim.NewGroup(s),
+		activeCond: sim.NewCond(s),
+		breakers:   make(map[*node.Node]*Breaker),
+	}
 }
 
 // SetConcurrency reshapes the worker pool to n. Increases spawn fresh
@@ -133,9 +154,10 @@ func (r *Runner) SetConcurrency(n int) {
 		idx := r.spawned
 		r.spawned++
 		w := &worker{
-			r:   r,
-			idx: idx,
-			src: rng.ChildOf(r.cfg.Seed, fmt.Sprintf("%s/w%d", r.cfg.Name, idx)),
+			r:    r,
+			idx:  idx,
+			src:  rng.ChildOf(r.cfg.Seed, fmt.Sprintf("%s/w%d", r.cfg.Name, idx)),
+			boff: rng.ChildOf(r.cfg.Seed, fmt.Sprintf("%s/w%d/backoff", r.cfg.Name, idx)),
 		}
 		w.dist = r.makeDist(w.src)
 		r.group.Go(fmt.Sprintf("%s/w%d", r.cfg.Name, idx), w.run)
@@ -169,6 +191,7 @@ type worker struct {
 	r    *Runner
 	idx  int
 	src  *rng.Source
+	boff *rng.Source // dedicated jitter stream: retries don't perturb the txn stream
 	dist rng.Dist
 }
 
@@ -176,6 +199,7 @@ func (w *worker) run(p *sim.Proc) {
 	cfg := &w.r.cfg
 	weights := cfg.Mix.weights()
 	tr := cfg.Tracer
+	pol := w.r.pol
 	for {
 		if w.r.stopped || w.idx >= w.r.target {
 			return
@@ -185,25 +209,38 @@ func (w *worker) run(p *sim.Proc) {
 		if tr != nil {
 			tr.StartTxn(p, typ.String(), start)
 		}
-		err := w.execute(p, typ)
+		// Bounded retry loop: transient failures back off (capped
+		// exponential + deterministic jitter) and retry until the per-txn
+		// attempt budget is spent, then the txn is abandoned as terminal —
+		// a worker pinned to a permanently dead node keeps measuring
+		// instead of spinning.
+		var err error
+		for attempt := 0; ; attempt++ {
+			err = w.executeOnce(p, typ)
+			if err == nil || !isTransient(err) {
+				break
+			}
+			cfg.Collector.RecordError(p.Elapsed())
+			if attempt+1 >= pol.MaxAttempts {
+				err = fmt.Errorf("%w after %d attempts: %w", ErrRetriesExhausted, pol.MaxAttempts, err)
+				break
+			}
+			w.backoff(p, attempt)
+			if w.r.stopped {
+				break
+			}
+		}
 		switch {
 		case err == nil:
 			end := p.Elapsed()
 			tr.FinishTxn(p, "commit", end)
 			cfg.Collector.RecordCommit(typ, end, end-start)
-		case errors.Is(err, node.ErrNodeDown), errors.Is(err, node.ErrIOFault):
-			cfg.Collector.RecordError(p.Elapsed())
-			if tr == nil {
-				p.Sleep(cfg.RetryBackoff)
-			} else {
-				// The backoff is client-observed retry penalty: keep the
-				// trace open across it so the fault-retry span lands on the
-				// failed attempt's breakdown.
-				t0 := p.Elapsed()
-				p.Sleep(cfg.RetryBackoff)
-				tr.Record(p, obs.KindFaultRetry, t0, p.Elapsed())
-				tr.FinishTxn(p, "error", p.Elapsed())
-			}
+		case errors.Is(err, ErrRetriesExhausted):
+			cfg.Collector.RecordTerminal(p.Elapsed())
+			tr.FinishTxn(p, "error", p.Elapsed())
+		case isTransient(err):
+			// Stopped mid-retry: the error was already recorded above.
+			tr.FinishTxn(p, "error", p.Elapsed())
 		default:
 			cfg.Collector.RecordError(p.Elapsed())
 			tr.FinishTxn(p, "error", p.Elapsed())
@@ -211,25 +248,117 @@ func (w *worker) run(p *sim.Proc) {
 	}
 }
 
-// execute runs one transaction of the given type. A nil error means the
-// transaction committed.
-func (w *worker) execute(p *sim.Proc, typ TxnType) error {
+// backoff sleeps the capped exponential backoff for the given attempt with
+// deterministic jitter in [1/2, 1) of the nominal value, recorded as a
+// fault-retry span when tracing.
+func (w *worker) backoff(p *sim.Proc, attempt int) {
+	d := w.r.pol.backoffFor(attempt)
+	d = d/2 + time.Duration(w.boff.Float64()*float64(d/2))
+	tr := w.r.cfg.Tracer
+	if tr == nil {
+		p.Sleep(d)
+		return
+	}
+	t0 := p.Elapsed()
+	p.Sleep(d)
+	tr.Record(p, obs.KindFaultRetry, t0, p.Elapsed())
+}
+
+// pickNode gates a node through client-side health checks: reachability
+// (partition between client and node) and the node's shared circuit
+// breaker. A breaker transitioning open → half-open records the completed
+// breaker-open window as a background span.
+func (w *worker) pickNode(p *sim.Proc, n *node.Node) (*Breaker, error) {
+	if f := w.r.cfg.Reachable; f != nil && !f(n) {
+		return nil, ErrUnreachable
+	}
+	b := w.r.breaker(n)
+	ok, openEnded := b.Allow(p.Elapsed())
+	if openEnded {
+		if tr := w.r.cfg.Tracer; tr != nil {
+			tr.RecordBG("breaker", obs.KindBreakerOpen, n.Name, b.OpenedAt(), p.Elapsed())
+		}
+	}
+	if !ok {
+		return nil, ErrBreakerOpen
+	}
+	return b, nil
+}
+
+// executeOnce runs a single attempt of one transaction, reporting the
+// outcome to the node's breaker. Reads reroute to a healthy candidate when
+// the primary pick is unusable; writes cannot reroute (only the RW holds
+// the lease) and fail fast instead.
+func (w *worker) executeOnce(p *sim.Proc, typ TxnType) error {
+	n, rerouted, err := w.routeNode(p, typ)
+	if err != nil {
+		return err
+	}
+	b := w.r.breaker(n)
+	t0 := p.Elapsed()
+	err = w.execute(p, typ, n)
+	if err != nil && isTransient(err) {
+		if b.OnFailure(p.Elapsed()) {
+			w.r.breakerOpens++
+		}
+	} else {
+		b.OnSuccess()
+	}
+	if rerouted {
+		w.r.reroutes++
+		if tr := w.r.cfg.Tracer; tr != nil {
+			tr.Record(p, obs.KindReroute, t0, p.Elapsed())
+		}
+	}
+	return err
+}
+
+// routeNode picks the node for one attempt. The primary pick comes from
+// the configured Write/Read hooks; an unusable read pick falls back to the
+// first healthy candidate (reroute-on-open).
+func (w *worker) routeNode(p *sim.Proc, typ TxnType) (*node.Node, bool, error) {
+	if typ != T3OrderStatus {
+		n := w.r.cfg.Write()
+		_, err := w.pickNode(p, n)
+		return n, false, err
+	}
+	n := w.r.cfg.Read()
+	_, err := w.pickNode(p, n)
+	if err == nil {
+		return n, false, nil
+	}
+	if w.r.cfg.ReadCandidates == nil {
+		return nil, false, err
+	}
+	for _, c := range w.r.cfg.ReadCandidates() {
+		if c == n {
+			continue
+		}
+		if _, cerr := w.pickNode(p, c); cerr == nil {
+			return c, true, nil
+		}
+	}
+	return nil, false, err
+}
+
+// execute runs one transaction of the given type on the given node. A nil
+// error means the transaction committed.
+func (w *worker) execute(p *sim.Proc, typ TxnType, n *node.Node) error {
 	switch typ {
 	case T1NewOrderline:
-		return w.t1NewOrderline(p)
+		return w.t1NewOrderline(p, n)
 	case T2OrderPayment:
-		return w.t2OrderPayment(p)
+		return w.t2OrderPayment(p, n)
 	case T3OrderStatus:
-		return w.t3OrderStatus(p)
+		return w.t3OrderStatus(p, n)
 	case T4OrderlineDeletion:
-		return w.t4OrderlineDeletion(p)
+		return w.t4OrderlineDeletion(p, n)
 	}
 	return fmt.Errorf("core: unknown transaction %d", typ)
 }
 
 // t1NewOrderline: INSERT INTO orderline VALUES (DEFAULT, ?,?,?,?).
-func (w *worker) t1NewOrderline(p *sim.Proc) error {
-	n := w.r.cfg.Write()
+func (w *worker) t1NewOrderline(p *sim.Proc, n *node.Node) error {
 	tx, err := n.Begin(p)
 	if err != nil {
 		return err
@@ -252,8 +381,7 @@ func (w *worker) t1NewOrderline(p *sim.Proc) error {
 }
 
 // t2OrderPayment: select the order, mark it paid, credit the customer.
-func (w *worker) t2OrderPayment(p *sim.Proc) error {
-	n := w.r.cfg.Write()
+func (w *worker) t2OrderPayment(p *sim.Proc, n *node.Node) error {
 	tx, err := n.Begin(p)
 	if err != nil {
 		return err
@@ -296,8 +424,7 @@ func (w *worker) t2OrderPayment(p *sim.Proc) error {
 
 // t3OrderStatus: SELECT O_ID, O_DATE, O_STATUS FROM orders WHERE O_ID = ?,
 // served by a read-only node.
-func (w *worker) t3OrderStatus(p *sim.Proc) error {
-	n := w.r.cfg.Read()
+func (w *worker) t3OrderStatus(p *sim.Proc, n *node.Node) error {
 	orders := n.DB.Table(TableOrders)
 	oid := w.dist.Next(orders.MaxID())
 	_, _, err := n.Read(p, TableOrders, engine.IntKey(oid))
@@ -305,8 +432,7 @@ func (w *worker) t3OrderStatus(p *sim.Proc) error {
 }
 
 // t4OrderlineDeletion: DELETE FROM orderline WHERE OL_ID = ?.
-func (w *worker) t4OrderlineDeletion(p *sim.Proc) error {
-	n := w.r.cfg.Write()
+func (w *worker) t4OrderlineDeletion(p *sim.Proc, n *node.Node) error {
 	tx, err := n.Begin(p)
 	if err != nil {
 		return err

@@ -131,6 +131,10 @@ type undoEntry struct {
 	prior   Row
 	page    storage.PageID
 	existed bool
+	// inDelta records whether the key had a delta entry (row or tombstone)
+	// before this write — rollback must restore the overlay exactly, not
+	// just the visible value (see Table.undoSet).
+	inDelta bool
 }
 
 // Txn is a read-write transaction under strict two-phase locking: locks are
@@ -222,11 +226,12 @@ func (t *Txn) Insert(table *Table, row Row) (storage.PageID, error) {
 	if err := t.acquire(table, k, LockExclusive); err != nil {
 		return storage.PageID{}, err
 	}
+	_, wasDelta := table.delta.Get(k)
 	page, err := table.Insert(k, row)
 	if err != nil {
 		return storage.PageID{}, err
 	}
-	t.undo = append(t.undo, undoEntry{table: table, key: k, page: page, existed: false})
+	t.undo = append(t.undo, undoEntry{table: table, key: k, page: page, existed: false, inDelta: wasDelta})
 	if o := t.db.observer; o != nil {
 		o.OnWrite(t.db.sim.Elapsed(), t.id, table.Schema.Name, k, nil, row)
 	}
@@ -249,11 +254,12 @@ func (t *Txn) Update(table *Table, k Key, row Row) (storage.PageID, error) {
 	if err := t.acquire(table, k, LockExclusive); err != nil {
 		return storage.PageID{}, err
 	}
+	_, wasDelta := table.delta.Get(k)
 	page, old, err := table.Update(k, row)
 	if err != nil {
 		return page, err
 	}
-	t.undo = append(t.undo, undoEntry{table: table, key: k, prior: old, page: page, existed: true})
+	t.undo = append(t.undo, undoEntry{table: table, key: k, prior: old, page: page, existed: true, inDelta: wasDelta})
 	if o := t.db.observer; o != nil {
 		o.OnWrite(t.db.sim.Elapsed(), t.id, table.Schema.Name, k, old, row)
 	}
@@ -276,11 +282,12 @@ func (t *Txn) Delete(table *Table, k Key) (storage.PageID, error) {
 	if err := t.acquire(table, k, LockExclusive); err != nil {
 		return storage.PageID{}, err
 	}
+	_, wasDelta := table.delta.Get(k)
 	page, old, err := table.Delete(k)
 	if err != nil {
 		return page, err
 	}
-	t.undo = append(t.undo, undoEntry{table: table, key: k, prior: old, page: page, existed: true})
+	t.undo = append(t.undo, undoEntry{table: table, key: k, prior: old, page: page, existed: true, inDelta: wasDelta})
 	if o := t.db.observer; o != nil {
 		o.OnWrite(t.db.sim.Elapsed(), t.id, table.Schema.Name, k, old, nil)
 	}
@@ -332,7 +339,7 @@ func (t *Txn) Abort() error {
 	t.done = true
 	for i := len(t.undo) - 1; i >= 0; i-- {
 		u := t.undo[i]
-		u.table.undoSet(u.key, u.prior, u.page, u.existed)
+		u.table.undoSet(u.key, u.prior, u.page, u.existed, u.inDelta)
 	}
 	t.db.locks.ReleaseAll(t.id, t.lockSeq)
 	t.db.aborts++

@@ -340,3 +340,48 @@ func TestConcurrentTransfersPreserveInvariant(t *testing.T) {
 		t.Fatalf("credit total = %v, want 1000 (conservation violated)", total)
 	}
 }
+
+// TestAbortRestoresDeltaOverlayExactly: rollback must leave the delta
+// overlay byte-identical to its pre-transaction state, not merely restore
+// the visible values. Materializing a base row's before-image as a delta
+// entry on abort would diverge the overlay from replicas — they never hear
+// about aborted writes — and fail the convergence invariant after a
+// fail-over freezes the aborting primary's delta.
+func TestAbortRestoresDeltaOverlayExactly(t *testing.T) {
+	s := sim.New(epoch)
+	db, tbl := newTestDB(s, t)
+	s.Go("t", func(p *sim.Proc) {
+		// First-ever touches of base-resident rows, then abort: the overlay
+		// must return to empty.
+		txn := db.Begin(p)
+		txn.Update(tbl, IntKey(7), Row{Int(7), Str("PAID")})
+		txn.Delete(tbl, IntKey(8))
+		txn.Abort()
+		if n := tbl.DeltaLen(); n != 0 {
+			t.Errorf("delta entries after aborting first-touch writes = %d, want 0", n)
+		}
+
+		// A committed delete of a delta-only row leaves a tombstone; an
+		// aborted re-insert over it must put the tombstone back, not drop it.
+		id := tbl.NextAutoID()
+		txn = db.Begin(p)
+		txn.Insert(tbl, genOrder(id))
+		txn.Commit()
+		txn = db.Begin(p)
+		txn.Delete(tbl, IntKey(id))
+		txn.Commit()
+		before := tbl.DeltaLen()
+		txn = db.Begin(p)
+		txn.Insert(tbl, genOrder(id))
+		txn.Abort()
+		if n := tbl.DeltaLen(); n != before {
+			t.Errorf("delta entries after aborted re-insert = %d, want %d (tombstone dropped)", n, before)
+		}
+		if _, _, ok := tbl.Get(IntKey(id)); ok {
+			t.Error("aborted re-insert visible over tombstone")
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -263,27 +263,41 @@ func (t *Table) DeleteAt(k Key, page storage.PageID) {
 	t.delta.Set(k, deltaVal{row: nil, page: page})
 }
 
-// undoSet restores a prior delta state: row==nil removes/tombstones
-// according to prior existence. Used by transaction rollback.
-func (t *Table) undoSet(k Key, prior Row, page storage.PageID, existedBefore bool) {
+// undoSet restores the exact prior delta state. wasDelta records whether
+// the key had a delta entry (row or tombstone) before the transaction's
+// write: a prior value that lived only in the base table is restored by
+// dropping the overlay, NOT by materializing the base image as a delta
+// entry — that would be visible-state correct but would diverge the
+// overlay from replicas, which never hear about aborted writes (the
+// convergence invariant compares overlays byte for byte). Used by
+// transaction rollback.
+func (t *Table) undoSet(k Key, prior Row, page storage.PageID, existedBefore, wasDelta bool) {
 	_, _, visible := t.Get(k)
 	switch {
-	case existedBefore:
+	case existedBefore && wasDelta:
 		t.delta.Set(k, deltaVal{row: prior.Clone(), page: page})
 		if !visible {
 			t.liveRows++
 		}
-	default:
-		// Row did not exist before: tombstone (or physically drop fresh
-		// delta-only inserts).
+	case existedBefore:
+		// Prior value lived only in the base table: the base row shows
+		// through again once the overlay entry is gone.
+		t.delta.Delete(k)
+		if !visible {
+			t.liveRows++
+		}
+	case wasDelta:
+		// Insert over a tombstone: put the tombstone back.
 		if visible {
 			t.liveRows--
 		}
-		if _, isBase := t.isBaseKey(k); isBase {
-			t.delta.Set(k, deltaVal{row: nil, page: page})
-		} else {
-			t.delta.Delete(k)
+		t.delta.Set(k, deltaVal{row: nil, page: page})
+	default:
+		// Fresh insert: drop the entry entirely.
+		if visible {
+			t.liveRows--
 		}
+		t.delta.Delete(k)
 	}
 }
 

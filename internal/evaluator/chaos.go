@@ -100,11 +100,15 @@ func RunChaos(cfg ChaosConfig) ChaosResult {
 	if cfg.Schedule != nil {
 		sched = *cfg.Schedule
 	}
-	inj := chaos.NewInjector(s, sched, chaos.Targets{
+	inj, err := chaos.NewInjector(s, sched, chaos.Targets{
 		Cluster: d.Cluster,
 		Links:   d.Links(),
+		Net:     d.Net,
 		Seed:    cfg.Seed,
 	})
+	if err != nil {
+		panic("evaluator: chaos schedule: " + err.Error())
+	}
 	inj.Start()
 
 	col := core.NewCollector()

@@ -24,6 +24,8 @@ var tiny = Scale{
 	FailConc:     24,
 	LagDuration:  2 * time.Second,
 	LagConc:      4,
+	PartSpan:     8 * time.Second,
+	PartConc:     4,
 	Seed:         42,
 }
 
@@ -46,6 +48,8 @@ var mini = Scale{
 	LagConc:      3,
 	ChaosSpan:    3 * time.Second,
 	ChaosConc:    3,
+	PartSpan:     4 * time.Second,
+	PartConc:     3,
 	Seed:         42,
 }
 
@@ -63,7 +67,7 @@ func TestParallelCellsAreByteIdentical(t *testing.T) {
 		}
 		return out
 	}
-	for _, id := range []string{"f5", "f6", "lag"} {
+	for _, id := range []string{"f5", "f6", "lag", "partition"} {
 		SetParallelism(1)
 		seq := run(id)
 		SetParallelism(4)
@@ -81,7 +85,7 @@ func TestParallelCellsAreByteIdentical(t *testing.T) {
 }
 
 func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
-	want := []string{"ablations", "chaos", "f5", "f6", "f7", "f8", "f9", "lag", "oltp", "t5", "t6", "t7", "t8", "t9"}
+	want := []string{"ablations", "chaos", "f5", "f6", "f7", "f8", "f9", "lag", "oltp", "partition", "t5", "t6", "t7", "t8", "t9"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("ids = %v", got)

@@ -41,6 +41,8 @@ var registry = map[string]struct {
 		func(sc Scale) string { out, _ := Chaos(sc); return out }},
 	"oltp": {"Stage profile — traced OLTP run with per-SUT virtual-time stage breakdown (honours --trace)",
 		func(sc Scale) string { out, _ := OLTPTrace(sc); return out }},
+	"partition": {"Partition gauntlet — MTTD/MTTR, lease fencing, and resilient-client metrics under a gray partition, all SUTs",
+		func(sc Scale) string { out, _ := Partition(sc); return out }},
 }
 
 // IDs returns all experiment ids in sorted order.

@@ -47,6 +47,10 @@ type Scale struct {
 	ChaosSpan time.Duration
 	ChaosConc int
 
+	// Partition gauntlet (cloudybench run partition).
+	PartSpan time.Duration
+	PartConc int
+
 	// TraceDir, when non-empty, makes trace-aware experiments (the "oltp"
 	// stage-profile run) write JSONL span files and a Prometheus-text
 	// metrics snapshot into the directory (created if missing). Empty
@@ -74,6 +78,8 @@ var Quick = Scale{
 	LagConc:      8,
 	ChaosSpan:    8 * time.Second,
 	ChaosConc:    8,
+	PartSpan:     18 * time.Second,
+	PartConc:     12,
 	Seed:         42,
 }
 
@@ -95,6 +101,8 @@ var Paper = Scale{
 	LagConc:      16,
 	ChaosSpan:    30 * time.Second,
 	ChaosConc:    32,
+	PartSpan:     40 * time.Second,
+	PartConc:     32,
 	Seed:         42,
 }
 
@@ -118,6 +126,8 @@ var Bench = Scale{
 	LagConc:      6,
 	ChaosSpan:    6 * time.Second,
 	ChaosConc:    6,
+	PartSpan:     12 * time.Second,
+	PartConc:     6,
 	Seed:         42,
 }
 

@@ -108,6 +108,25 @@ func OScore(sf, p, t, e1, e2 float64, r, f, c time.Duration) float64 {
 	return sf * math.Log10(p*t*e1*e2/(rs*fs*cs))
 }
 
+// FPartScore is the partition-tolerance extension of the F-Score: the mean
+// time from partition injection to restored write service (MTTR) across
+// runs. Like F, it rewards architectures that recover autonomously.
+func FPartScore(phases []time.Duration) time.Duration {
+	return meanDuration(phases)
+}
+
+// OScorePart extends equation (8) with the partition-recovery term: the
+// denominator gains FPart seconds, so O' = SF · lg(P·T·E1·E2/(R·F·C·FPart)).
+// A zero fpart (partition tolerance not measured) reduces to the published
+// O-Score, keeping Table IX reproducible.
+func OScorePart(sf, p, t, e1, e2 float64, r, f, c, fpart time.Duration) float64 {
+	base := OScore(sf, p, t, e1, e2, r, f, c)
+	if base == 0 || fpart <= 0 {
+		return base
+	}
+	return base - sf*math.Log10(fpart.Seconds())
+}
+
 // Scores aggregates one SUT's full PERFECT row (Table IX).
 type Scores struct {
 	System string
@@ -122,6 +141,10 @@ type Scores struct {
 	T      float64
 	TStar  float64
 	SF     float64
+	// FPart is the partition-tolerance extension: mean time from partition
+	// injection to restored write service. Zero means not measured, and the
+	// O-Score reduces to the paper's published form.
+	FPart time.Duration
 }
 
 // O computes the unified metric from the RUC-based components.
@@ -130,7 +153,7 @@ func (s Scores) O() float64 {
 	if sf == 0 {
 		sf = 1
 	}
-	return OScore(sf, s.P, s.T, s.E1, s.E2, s.R, s.F, s.C)
+	return OScorePart(sf, s.P, s.T, s.E1, s.E2, s.R, s.F, s.C, s.FPart)
 }
 
 // OStar computes the unified metric from the actual-cost components.
@@ -139,5 +162,5 @@ func (s Scores) OStar() float64 {
 	if sf == 0 {
 		sf = 1
 	}
-	return OScore(sf, s.PStar, s.TStar, s.E1Star, s.E2, s.R, s.F, s.C)
+	return OScorePart(sf, s.PStar, s.TStar, s.E1Star, s.E2, s.R, s.F, s.C, s.FPart)
 }

@@ -57,6 +57,12 @@ type Link struct {
 	baseGbps    float64
 	degraded    bool
 
+	// Partition state (chaos injection): while cut, Send blocks the sender
+	// until Heal, modelling packets that never arrive. cutCond wakes the
+	// blocked senders on heal.
+	cut     bool
+	cutCond *sim.Cond
+
 	trace *obs.Tracer
 }
 
@@ -72,6 +78,7 @@ func NewLink(s *sim.Sim, fabric Fabric, gbps float64) *Link {
 		latency: DefaultLatency(fabric),
 		gbps:    gbps,
 		channel: sim.NewQueue(s, bytesPerSec),
+		cutCond: sim.NewCond(s),
 	}
 }
 
@@ -127,6 +134,26 @@ func (l *Link) Restore() {
 // injected degradation.
 func (l *Link) Degraded() bool { return l.degraded }
 
+// Cut severs the link: subsequent Send calls block until Heal. Transfers
+// already past the cut check (mid-flight packets) complete normally, which
+// matches a real partition — the wire drops new packets, it does not recall
+// delivered ones.
+func (l *Link) Cut() { l.cut = true }
+
+// Heal reconnects a cut link and wakes every sender blocked on it; their
+// transfers then proceed at the link's current latency and bandwidth. It is
+// a no-op on a healthy link.
+func (l *Link) Heal() {
+	if !l.cut {
+		return
+	}
+	l.cut = false
+	l.cutCond.Broadcast()
+}
+
+// IsCut reports whether the link is currently severed.
+func (l *Link) IsCut() bool { return l.cut }
+
 // Fabric returns the link's fabric type.
 func (l *Link) Fabric() Fabric { return l.fabric }
 
@@ -138,28 +165,35 @@ func (l *Link) Latency() time.Duration { return l.latency }
 
 // Send transfers bytes over the link, blocking the process for propagation
 // latency plus bandwidth (and any queueing behind concurrent transfers).
-// It returns the total delay experienced.
+// On a cut link the sender blocks until Heal before the transfer starts.
+// It returns the total delay experienced, including any partition wait.
 func (l *Link) Send(p *sim.Proc, bytes int) time.Duration {
 	if bytes < 0 {
 		bytes = 0
 	}
-	l.bytes += int64(bytes)
 	tr := l.trace
 	var t0 time.Duration
 	if tr != nil {
 		t0 = p.Elapsed()
 	}
+	start := p.Elapsed()
+	for l.cut {
+		l.cutCond.Wait(p)
+	}
+	l.bytes += int64(bytes)
 	d := l.channel.Reserve(bytes) + l.latency
 	p.Sleep(d)
 	if tr != nil {
 		tr.Record(p, obs.KindNetHop, t0, p.Elapsed())
 	}
-	return d
+	return p.Elapsed() - start // transfer delay + any partition wait
 }
 
 // Reserve books a transfer on the link and returns its total delay
 // (bandwidth queueing + propagation) without sleeping, so callers can fold
-// several path segments into one scheduler block.
+// several path segments into one scheduler block. Unlike Send it does not
+// observe partitions: it models in-box fast paths that no chaos schedule
+// cuts (callers on partitionable paths must use Send).
 func (l *Link) Reserve(bytes int) time.Duration {
 	if bytes < 0 {
 		bytes = 0

@@ -138,6 +138,13 @@ type Node struct {
 	pageReads, pageWrites int64
 
 	faults faultState
+
+	// fence is the deployment-wide write lease (nil = no fencing); epoch is
+	// the lease epoch this node last held. A node whose epoch is stale has
+	// its write commits refused by the fence (ErrFenced) — the split-brain
+	// guard during partitions.
+	fence *storage.Fence
+	epoch uint64
 }
 
 // New creates a node with its own engine database.
@@ -462,9 +469,34 @@ func (t *Tx) Delete(tbl *engine.Table, k engine.Key) error {
 	return nil
 }
 
+// ErrFenced mirrors storage.ErrFenced for callers that only import node.
+var ErrFenced = storage.ErrFenced
+
+// SetFence attaches the deployment-wide write lease.
+func (n *Node) SetFence(f *storage.Fence) { n.fence = f }
+
+// GrantEpoch hands the node a lease epoch (promotion grants the current
+// epoch; anything older is fenced at commit).
+func (n *Node) GrantEpoch(e uint64) { n.epoch = e }
+
+// Epoch returns the lease epoch the node last held.
+func (n *Node) Epoch() uint64 { return n.epoch }
+
 // Commit pays WAL durability through the backend, commits, and hands the
-// committed records to the replication hook.
+// committed records to the replication hook. Writing transactions present
+// the node's lease epoch to the fence first: a stale epoch (the node lost
+// the RW lease to a fail-over it may not even know about) aborts the
+// transaction with ErrFenced before any durability is paid.
 func (t *Tx) Commit() error {
+	if t.inner.WALBytes() > 0 && t.n.fence != nil {
+		if err := t.n.fence.CheckCommit(t.p.Elapsed(), t.n.Name, t.n.epoch); err != nil {
+			// Roll back explicitly: callers treat a commit error as final
+			// and never call Abort themselves, so the locks must be
+			// released here.
+			_ = t.inner.Abort()
+			return err
+		}
+	}
 	if bytes := t.inner.WALBytes(); bytes > 0 {
 		tr := t.n.Trace
 		if tr == nil {

@@ -46,13 +46,15 @@ const (
 	KindReplicationShip             // shipping committed records toward replicas
 	KindCheckpointStall             // page IO stalled behind an active checkpoint
 	KindFaultRetry                  // client backoff after a fault-rejected request
+	KindBreakerOpen                 // a per-node circuit breaker held open (fail-fast window)
+	KindReroute                     // a read served by a fallback node after reroute-on-open
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"cpu", "lock-wait", "latch", "page-read", "page-write", "wal-append",
 	"net-hop", "storage-replay", "replication-ship", "checkpoint-stall",
-	"fault-retry",
+	"fault-retry", "breaker-open", "reroute",
 }
 
 func (k Kind) String() string {

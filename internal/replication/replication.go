@@ -15,6 +15,7 @@
 package replication
 
 import (
+	"sort"
 	"time"
 
 	"cloudybench/internal/meter"
@@ -74,6 +75,15 @@ type Stream struct {
 	inboxCond *sim.Cond
 	lanes     []*laneState
 	stopped   bool
+
+	// inflight is the batch the shipper popped from the inbox and is
+	// currently transferring; on a cut link the shipper blocks mid-Send with
+	// the batch parked here so DrainPending can recover it (the records are
+	// committed and durable — only the network path is gone).
+	inflight []envelope
+	// replaying counts lane records popped but not yet applied, so
+	// DrainPending can wait out in-flight replays before taking over.
+	replaying int
 
 	appliedLSN  storage.LSN
 	shipped     int64
@@ -151,6 +161,7 @@ func (st *Stream) shipLoop(p *sim.Proc) {
 		}
 		batch := st.inbox
 		st.inbox = nil
+		st.inflight = batch
 		bytes := 0
 		for i := range batch {
 			bytes += batch[i].rec.Size()
@@ -169,6 +180,10 @@ func (st *Stream) shipLoop(p *sim.Proc) {
 		if tr != nil {
 			tr.RecordBG("replication", obs.KindReplicationShip, st.cfg.Name, t0, p.Elapsed())
 		}
+		// DrainPending may have taken the batch while Send was blocked on a
+		// cut link; if so there is nothing left to distribute.
+		batch = st.inflight
+		st.inflight = nil
 		st.shipped += int64(len(batch))
 		for _, env := range batch {
 			lane := st.lanes[int(env.rec.Page.Num)%len(st.lanes)]
@@ -189,56 +204,95 @@ func (st *Stream) replayLoop(p *sim.Proc, laneID int) {
 		}
 		env := lane.queue[0]
 		lane.queue = lane.queue[1:]
-		// A down replica buffers the backlog; replay resumes (and catches
-		// up) once the node restarts, extending recovery realistically.
-		for st.replica.State() == node.Down {
-			p.Sleep(100 * time.Millisecond)
-		}
-		cost := st.cfg.PerRecord
-		switch env.rec.Type {
-		case storage.RecDelete:
-			cost = time.Duration(float64(cost) * st.cfg.DeleteFactor)
-		case storage.RecInsert, storage.RecUpdate:
-		default:
-			cost = 0 // commit/begin markers replay for free
-		}
-		if cost > 0 {
-			tr := st.cfg.Tracer
-			if tr == nil {
-				p.Sleep(cost)
-			} else {
-				t0 := p.Elapsed()
-				p.Sleep(cost)
-				tr.RecordBG("replication", obs.KindStorageReplay, st.cfg.Name, t0, p.Elapsed())
-			}
-		}
-		if n := st.cfg.DropEveryNth; n > 0 && env.rec.Type != storage.RecCommit {
-			st.dropCounter++
-			if st.dropCounter%int64(n) == 0 {
-				st.applied++
-				continue
-			}
-		}
-		if err := st.replica.DB.Apply(env.rec); err != nil {
-			panic("replication: " + err.Error())
-		}
-		st.applied++
-		if env.rec.LSN > st.appliedLSN {
-			st.appliedLSN = env.rec.LSN
-		}
-		lag := st.s.Elapsed() - env.committedAt
-		switch env.rec.Type {
-		case storage.RecInsert:
-			st.lagInsert.Add(lag)
-		case storage.RecUpdate:
-			st.lagUpdate.Add(lag)
-		case storage.RecDelete:
-			st.lagDelete.Add(lag)
-		}
-		if st.OnApply != nil && env.rec.Type != storage.RecCommit {
-			st.OnApply(env.rec)
+		st.replaying++
+		st.applyOne(p, env)
+		st.replaying--
+	}
+}
+
+// applyOne pays the replay cost for one record and applies it to the
+// replica. Shared by the lane replay loops and DrainPending.
+func (st *Stream) applyOne(p *sim.Proc, env envelope) {
+	// A down replica buffers the backlog; replay resumes (and catches
+	// up) once the node restarts, extending recovery realistically.
+	for st.replica.State() == node.Down {
+		p.Sleep(100 * time.Millisecond)
+	}
+	cost := st.cfg.PerRecord
+	switch env.rec.Type {
+	case storage.RecDelete:
+		cost = time.Duration(float64(cost) * st.cfg.DeleteFactor)
+	case storage.RecInsert, storage.RecUpdate:
+	default:
+		cost = 0 // commit/begin markers replay for free
+	}
+	if cost > 0 {
+		tr := st.cfg.Tracer
+		if tr == nil {
+			p.Sleep(cost)
+		} else {
+			t0 := p.Elapsed()
+			p.Sleep(cost)
+			tr.RecordBG("replication", obs.KindStorageReplay, st.cfg.Name, t0, p.Elapsed())
 		}
 	}
+	if n := st.cfg.DropEveryNth; n > 0 && env.rec.Type != storage.RecCommit {
+		st.dropCounter++
+		if st.dropCounter%int64(n) == 0 {
+			st.applied++
+			return
+		}
+	}
+	if err := st.replica.DB.Apply(env.rec); err != nil {
+		panic("replication: " + err.Error())
+	}
+	st.applied++
+	if env.rec.LSN > st.appliedLSN {
+		st.appliedLSN = env.rec.LSN
+	}
+	lag := st.s.Elapsed() - env.committedAt
+	switch env.rec.Type {
+	case storage.RecInsert:
+		st.lagInsert.Add(lag)
+	case storage.RecUpdate:
+		st.lagUpdate.Add(lag)
+	case storage.RecDelete:
+		st.lagDelete.Add(lag)
+	}
+	if st.OnApply != nil && env.rec.Type != storage.RecCommit {
+		st.OnApply(env.rec)
+	}
+}
+
+// DrainPending synchronously applies every record the stream has accepted
+// but not yet applied — the shipper's in-flight batch (possibly parked
+// behind a cut link), the inbox, and the lane queues — to the replica, in
+// LSN order. Fail-over promotion calls this before adopting the replica as
+// the new RW: in the modelled architectures the committed log lives in
+// shared/quorum storage, which the promoted node can still read while the
+// network path to the old RW is partitioned, so no acknowledged commit is
+// lost to the cut. Replay cost is paid per record, extending the promotion
+// realistically under backlog. The replica must not be Down. Returns how
+// many records were applied.
+func (st *Stream) DrainPending(p *sim.Proc) int {
+	for st.replaying > 0 {
+		p.Sleep(time.Millisecond)
+	}
+	pend := append([]envelope(nil), st.inflight...)
+	st.inflight = nil
+	pend = append(pend, st.inbox...)
+	st.inbox = nil
+	newlyShipped := int64(len(pend))
+	for _, l := range st.lanes {
+		pend = append(pend, l.queue...)
+		l.queue = nil
+	}
+	sort.Slice(pend, func(i, j int) bool { return pend[i].rec.LSN < pend[j].rec.LSN })
+	for i := range pend {
+		st.applyOne(p, pend[i])
+	}
+	st.shipped += newlyShipped
+	return len(pend)
 }
 
 // AppliedLSN returns the highest LSN applied so far (approximate across
