@@ -8,8 +8,8 @@
 //	cloudybench run all [-scale quick|paper]
 //
 // Experiment ids map to the paper's artifacts: f5 t5 f6 t6 t7 t8 f7 lag t9
-// f8 f9, plus the testbed extensions: ablations chaos oltp partition (see
-// `cloudybench list`).
+// f8 f9, plus the testbed extensions: ablations chaos oltp partition suites
+// (see `cloudybench list`).
 package main
 
 import (

@@ -8,6 +8,7 @@ import (
 	"cloudybench/internal/autoscale"
 	"cloudybench/internal/cluster"
 	"cloudybench/internal/core"
+	"cloudybench/internal/engine"
 	"cloudybench/internal/netsim"
 	"cloudybench/internal/node"
 	"cloudybench/internal/obs"
@@ -39,6 +40,11 @@ type Options struct {
 	// caller install its own schema (the Figure 9 baselines deploy
 	// SysBench and TPC-C tables on the same SUT profile).
 	NoDataset bool
+	// ExtraSchema, if set, installs additional tables and secondary indexes
+	// on every node after the dataset (suite schemas). It must run
+	// identically on the RW and each replica: replicas re-derive index
+	// contents from the replicated row stream, so catalogs must line up.
+	ExtraSchema func(db *engine.DB) error
 	// CadenceScale compresses the autoscaler's reaction cadences (tick,
 	// down-hold, pause-after-idle, resume delay) by the given factor.
 	// Experiments that shrink the paper's one-minute slots to seconds set
@@ -152,6 +158,11 @@ func Deploy(s *sim.Sim, prof Profile, opts Options) (*Deployment, error) {
 		d.Net.AddEndpoint(name)
 		if !opts.NoDataset {
 			if err := d.Dataset.CreateTables(n.DB); err != nil {
+				return nil, err
+			}
+		}
+		if opts.ExtraSchema != nil {
+			if err := opts.ExtraSchema(n.DB); err != nil {
 				return nil, err
 			}
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"time"
 
 	"cloudybench/internal/meter"
@@ -41,6 +42,7 @@ type Collector struct {
 	terminals *meter.Counter
 	latency   *meter.Reservoir
 	byType    [5]int64
+	byOp      map[string]int64
 }
 
 // NewCollector returns an empty collector with 1-second TPS buckets.
@@ -60,6 +62,41 @@ func (c *Collector) RecordCommit(typ TxnType, at time.Duration, latency time.Dur
 	if typ >= 1 && int(typ) < len(c.byType) {
 		c.byType[typ]++
 	}
+}
+
+// RecordCommitOp records one committed suite operation by name (the suite
+// runner's analogue of RecordCommit; suites have op names, not Table II
+// transaction types).
+func (c *Collector) RecordCommitOp(op string, at time.Duration, latency time.Duration) {
+	c.commits.Add(at, 1)
+	c.latency.Add(latency)
+	if c.byOp == nil {
+		c.byOp = make(map[string]int64)
+	}
+	c.byOp[op]++
+}
+
+// CountByOp returns commits of one suite operation.
+func (c *Collector) CountByOp(op string) int64 { return c.byOp[op] }
+
+// OpCount is one suite operation's commit total.
+type OpCount struct {
+	Op string
+	N  int64
+}
+
+// OpCounts returns per-operation commit totals sorted by op name.
+func (c *Collector) OpCounts() []OpCount {
+	names := make([]string, 0, len(c.byOp))
+	for op := range c.byOp {
+		names = append(names, op)
+	}
+	sort.Strings(names)
+	out := make([]OpCount, len(names))
+	for i, op := range names {
+		out[i] = OpCount{Op: op, N: c.byOp[op]}
+	}
+	return out
 }
 
 // RecordError records one failed request (node down, lock timeout).

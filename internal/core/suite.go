@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"cloudybench/internal/engine"
+	"cloudybench/internal/node"
+	"cloudybench/internal/rng"
+	"cloudybench/internal/sim"
+)
+
+// ScanFunc intercepts read-only planner scans issued by suite operations.
+// The differential harness installs one that runs both plans and compares;
+// nil uses the node's planner directly.
+type ScanFunc func(p *sim.Proc, n *node.Node, table string, col int, lo, hi engine.Value, limit int) ([]engine.Row, error)
+
+// OpCtx is what one suite operation executes with: the routed node, the
+// worker's deterministic random streams, and the scan hook.
+type OpCtx struct {
+	P    *sim.Proc
+	Node *node.Node
+	Src  *rng.Source
+	Dist rng.Dist
+
+	scan ScanFunc
+}
+
+// ScanRead runs a read-only range scan on the op's node through the
+// engine planner, or through the configured override (the differential
+// harness's dual-plan hook).
+func (c *OpCtx) ScanRead(table string, col int, lo, hi engine.Value, limit int) ([]engine.Row, error) {
+	if c.scan != nil {
+		return c.scan(c.P, c.Node, table, col, lo, hi, limit)
+	}
+	return c.Node.ScanRead(c.P, table, col, lo, hi, limit, engine.PlanAuto)
+}
+
+// SuiteOp is one weighted operation of a workload suite. ReadOnly ops route
+// to read replicas (and may reroute on failure) exactly like T3; writes pin
+// to the current RW.
+type SuiteOp struct {
+	Name     string
+	Weight   float64
+	ReadOnly bool
+	Run      func(c *OpCtx) error
+}
+
+// Suite is a registered workload family: a schema installer applied to
+// every node of a deployment, and a weighted operation set. Suites compose
+// with the same scale, chaos, and partition machinery as the Table II mix —
+// the registry exists so a workload family is defined once and every
+// evaluator, gauntlet, and the differential harness can pick it up by name.
+type Suite struct {
+	Name string
+	Desc string
+	// Tables installs the suite's tables and secondary indexes on one
+	// node's engine; it runs identically on the RW and every replica so
+	// derived index state lines up across the cluster.
+	Tables func(db *engine.DB, sf int, seed int64) error
+	// Ops returns the suite's weighted operation set at the given scale.
+	Ops func(sf int) []SuiteOp
+}
+
+var suiteReg = map[string]*Suite{}
+
+// RegisterSuite adds a suite to the registry; duplicate names panic
+// (registration is init-time wiring, not user input).
+func RegisterSuite(st *Suite) {
+	if st.Name == "" || st.Tables == nil || st.Ops == nil {
+		panic("core: suite needs a name, a Tables installer, and an Ops set")
+	}
+	if _, dup := suiteReg[st.Name]; dup {
+		panic(fmt.Sprintf("core: duplicate suite %q", st.Name))
+	}
+	suiteReg[st.Name] = st
+}
+
+// SuiteNames returns every registered suite name, sorted.
+func SuiteNames() []string {
+	names := make([]string, 0, len(suiteReg))
+	for name := range suiteReg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SuiteByName returns the registered suite or nil.
+func SuiteByName(name string) *Suite { return suiteReg[name] }

@@ -98,6 +98,14 @@ type Config struct {
 	// Tracer, if non-nil, opens a trace per transaction and records retry
 	// backoffs, breaker-open windows, and reroutes. Nil disables tracing.
 	Tracer *obs.Tracer
+	// Ops, if non-empty, replaces the Table II mix with a suite's weighted
+	// operation set (see RegisterSuite); commits are then recorded per op
+	// name. Routing, retries, breakers, and rerouting behave exactly as for
+	// the mix, with op.ReadOnly playing T3's role.
+	Ops []SuiteOp
+	// ScanOverride, if set, intercepts OpCtx.ScanRead for every suite op —
+	// the differential harness's dual-plan hook. Nil scans normally.
+	ScanOverride ScanFunc
 }
 
 // Runner drives a workload at a runtime-variable concurrency: the
@@ -119,6 +127,9 @@ type Runner struct {
 	breakers     map[*node.Node]*Breaker
 	reroutes     int64
 	breakerOpens int64
+
+	// opWeights caches the suite ops' weight vector (suite mode only).
+	opWeights []float64
 }
 
 // NewRunner creates a stopped runner; call SetConcurrency to start traffic.
@@ -132,7 +143,7 @@ func NewRunner(s *sim.Sim, cfg Config) *Runner {
 	if cfg.LatestK <= 0 {
 		cfg.LatestK = 10
 	}
-	return &Runner{
+	r := &Runner{
 		s:          s,
 		cfg:        cfg,
 		pol:        cfg.Retry.withDefaults(cfg.RetryBackoff),
@@ -140,6 +151,10 @@ func NewRunner(s *sim.Sim, cfg Config) *Runner {
 		activeCond: sim.NewCond(s),
 		breakers:   make(map[*node.Node]*Breaker),
 	}
+	for _, op := range cfg.Ops {
+		r.opWeights = append(r.opWeights, op.Weight)
+	}
+	return r
 }
 
 // SetConcurrency reshapes the worker pool to n. Increases spawn fresh
@@ -204,10 +219,21 @@ func (w *worker) run(p *sim.Proc) {
 		if w.r.stopped || w.idx >= w.r.target {
 			return
 		}
-		typ := TxnType(w.src.PickWeighted(weights) + 1)
+		// Suite mode swaps the Table II mix for the suite's weighted op set;
+		// everything downstream (routing, retries, breakers) is shared.
+		var typ TxnType
+		var op *SuiteOp
+		label := ""
+		if len(cfg.Ops) > 0 {
+			op = &cfg.Ops[w.src.PickWeighted(w.r.opWeights)]
+			label = op.Name
+		} else {
+			typ = TxnType(w.src.PickWeighted(weights) + 1)
+			label = typ.String()
+		}
 		start := p.Elapsed()
 		if tr != nil {
-			tr.StartTxn(p, typ.String(), start)
+			tr.StartTxn(p, label, start)
 		}
 		// Bounded retry loop: transient failures back off (capped
 		// exponential + deterministic jitter) and retry until the per-txn
@@ -216,7 +242,7 @@ func (w *worker) run(p *sim.Proc) {
 		// instead of spinning.
 		var err error
 		for attempt := 0; ; attempt++ {
-			err = w.executeOnce(p, typ)
+			err = w.executeOnce(p, typ, op)
 			if err == nil || !isTransient(err) {
 				break
 			}
@@ -234,7 +260,11 @@ func (w *worker) run(p *sim.Proc) {
 		case err == nil:
 			end := p.Elapsed()
 			tr.FinishTxn(p, "commit", end)
-			cfg.Collector.RecordCommit(typ, end, end-start)
+			if op != nil {
+				cfg.Collector.RecordCommitOp(op.Name, end, end-start)
+			} else {
+				cfg.Collector.RecordCommit(typ, end, end-start)
+			}
 		case errors.Is(err, ErrRetriesExhausted):
 			cfg.Collector.RecordTerminal(p.Elapsed())
 			tr.FinishTxn(p, "error", p.Elapsed())
@@ -285,18 +315,26 @@ func (w *worker) pickNode(p *sim.Proc, n *node.Node) (*Breaker, error) {
 	return b, nil
 }
 
-// executeOnce runs a single attempt of one transaction, reporting the
-// outcome to the node's breaker. Reads reroute to a healthy candidate when
-// the primary pick is unusable; writes cannot reroute (only the RW holds
-// the lease) and fail fast instead.
-func (w *worker) executeOnce(p *sim.Proc, typ TxnType) error {
-	n, rerouted, err := w.routeNode(p, typ)
+// executeOnce runs a single attempt of one transaction or suite op,
+// reporting the outcome to the node's breaker. Reads reroute to a healthy
+// candidate when the primary pick is unusable; writes cannot reroute (only
+// the RW holds the lease) and fail fast instead.
+func (w *worker) executeOnce(p *sim.Proc, typ TxnType, op *SuiteOp) error {
+	readOnly := typ == T3OrderStatus
+	if op != nil {
+		readOnly = op.ReadOnly
+	}
+	n, rerouted, err := w.routeNode(p, readOnly)
 	if err != nil {
 		return err
 	}
 	b := w.r.breaker(n)
 	t0 := p.Elapsed()
-	err = w.execute(p, typ, n)
+	if op != nil {
+		err = op.Run(&OpCtx{P: p, Node: n, Src: w.src, Dist: w.dist, scan: w.r.cfg.ScanOverride})
+	} else {
+		err = w.execute(p, typ, n)
+	}
 	if err != nil && isTransient(err) {
 		if b.OnFailure(p.Elapsed()) {
 			w.r.breakerOpens++
@@ -316,8 +354,8 @@ func (w *worker) executeOnce(p *sim.Proc, typ TxnType) error {
 // routeNode picks the node for one attempt. The primary pick comes from
 // the configured Write/Read hooks; an unusable read pick falls back to the
 // first healthy candidate (reroute-on-open).
-func (w *worker) routeNode(p *sim.Proc, typ TxnType) (*node.Node, bool, error) {
-	if typ != T3OrderStatus {
+func (w *worker) routeNode(p *sim.Proc, readOnly bool) (*node.Node, bool, error) {
+	if !readOnly {
 		n := w.r.cfg.Write()
 		_, err := w.pickNode(p, n)
 		return n, false, err

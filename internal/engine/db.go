@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 
@@ -13,11 +14,12 @@ import (
 // read-only replica owns a separate DB instance (same schemas and
 // generators) that applies shipped WAL records via Apply.
 type DB struct {
-	sim    *sim.Sim
-	byName map[string]*Table
-	byID   map[storage.TableID]*Table
-	locks  *LockTable
-	log    *storage.Log
+	sim      *sim.Sim
+	byName   map[string]*Table
+	byID     map[storage.TableID]*Table
+	ixByName map[string]*Index
+	locks    *LockTable
+	log      *storage.Log
 
 	nextTxn     uint64
 	nextTableID storage.TableID
@@ -63,6 +65,43 @@ func (db *DB) MustCreateTable(schema *Schema, baseRows int64, gen RowGen) *Table
 	}
 	return t
 }
+
+// CreateIndex builds a secondary index over table.colName, allocating the
+// index's page-space id from the same counter as tables. Schema setup runs
+// identically on every node, so the id — which names index pages in WAL
+// records and buffer keys — matches across primary and replicas.
+func (db *DB) CreateIndex(tableName, ixName, colName string) (*Index, error) {
+	t := db.byName[tableName]
+	if t == nil {
+		return nil, fmt.Errorf("engine: index %s: unknown table %q", ixName, tableName)
+	}
+	if _, dup := db.ixByName[ixName]; dup {
+		return nil, fmt.Errorf("engine: index %s already exists", ixName)
+	}
+	db.nextTableID++
+	ix, err := t.CreateIndex(ixName, db.nextTableID, colName)
+	if err != nil {
+		db.nextTableID--
+		return nil, err
+	}
+	if db.ixByName == nil {
+		db.ixByName = make(map[string]*Index)
+	}
+	db.ixByName[ixName] = ix
+	return ix, nil
+}
+
+// MustCreateIndex is CreateIndex that panics on error (setup code).
+func (db *DB) MustCreateIndex(tableName, ixName, colName string) *Index {
+	ix, err := db.CreateIndex(tableName, ixName, colName)
+	if err != nil {
+		panic(err)
+	}
+	return ix
+}
+
+// Index returns the named secondary index, or nil.
+func (db *DB) Index(name string) *Index { return db.ixByName[name] }
 
 // Table returns the named table, or nil.
 func (db *DB) Table(name string) *Table { return db.byName[name] }
@@ -150,6 +189,10 @@ type Txn struct {
 	lockSeq []string
 	undo    []undoEntry
 	pending []storage.Record
+	// lastIxPages holds the index pages touched by the most recent write
+	// (valid until the next write); the node layer charges them as page
+	// writes alongside the heap page.
+	lastIxPages []storage.PageID
 }
 
 // Begin starts a transaction executed by process p.
@@ -243,6 +286,7 @@ func (t *Txn) Insert(table *Table, row Row) (storage.PageID, error) {
 		Key:   []byte(k),
 		Image: EncodeRow(nil, row),
 	})
+	t.recordIndexOps(table)
 	return page, nil
 }
 
@@ -271,6 +315,7 @@ func (t *Txn) Update(table *Table, k Key, row Row) (storage.PageID, error) {
 		Key:   []byte(k),
 		Image: EncodeRow(nil, row),
 	})
+	t.recordIndexOps(table)
 	return page, nil
 }
 
@@ -298,7 +343,70 @@ func (t *Txn) Delete(table *Table, k Key) (storage.PageID, error) {
 		Page:  page,
 		Key:   []byte(k),
 	})
+	t.recordIndexOps(table)
 	return page, nil
+}
+
+// recordIndexOps turns the index-entry changes of the write that just
+// completed into pending WAL records, so commits pay log bytes for index
+// maintenance, the fence sees index writes, and replica buffer invalidation
+// covers index pages. Replicas re-derive entries from the heap records, so
+// these carry no row images.
+func (t *Txn) recordIndexOps(table *Table) {
+	t.lastIxPages = t.lastIxPages[:0]
+	for _, op := range table.IndexOps() {
+		typ := storage.RecIndexPut
+		if op.Del {
+			typ = storage.RecIndexDelete
+		}
+		t.pending = append(t.pending, storage.Record{
+			Type:  typ,
+			Txn:   t.id,
+			Table: op.Index.ID,
+			Page:  op.Page,
+			Key:   append([]byte(nil), op.EntryKey...),
+		})
+		t.lastIxPages = append(t.lastIxPages, op.Page)
+	}
+}
+
+// LastIndexPages returns the index pages touched by the most recent write
+// on this transaction (valid until the next write). The slice aliases
+// internal storage.
+func (t *Txn) LastIndexPages() []storage.PageID { return t.lastIxPages }
+
+// ScanRange runs a range query over table.col at read-committed isolation:
+// an atomic lock-free scan collects candidates under the planner's chosen
+// access path, then each candidate row is S-locked (waiting as needed) and
+// re-read, dropping rows that no longer satisfy the predicate. Phantoms
+// are not prevented — there are no predicate locks, matching common
+// READ COMMITTED behavior. Scans do not emit observer read events.
+func (t *Txn) ScanRange(table *Table, col int, lo, hi Value, limit int, mode PlanMode) (ScanResult, error) {
+	if t.done {
+		return ScanResult{}, ErrTxnDone
+	}
+	cand, err := table.SelectRange(col, lo, hi, limit, mode)
+	if err != nil {
+		return ScanResult{}, err
+	}
+	out := ScanResult{Plan: cand.Plan, Pages: cand.Pages}
+	loK, hiK := EncodeKey(lo), EncodeKey(hi)
+	for _, pk := range cand.PKs {
+		if err := t.acquire(table, pk, LockShared); err != nil {
+			return ScanResult{}, err
+		}
+		row, _, ok := table.Get(pk)
+		if !ok {
+			continue // deleted between scan and lock grant
+		}
+		vK := EncodeKey(row[col])
+		if bytes.Compare(vK, loK) < 0 || bytes.Compare(vK, hiK) > 0 {
+			continue // moved out of range before the lock was granted
+		}
+		out.PKs = append(out.PKs, pk)
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
 }
 
 // Commit appends the transaction's redo records plus a commit record to the

@@ -3,6 +3,7 @@ package engine
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 )
 
 // Key is a memcomparable encoding of one or more values: bytes.Compare on
@@ -11,12 +12,26 @@ import (
 // (warehouse, district, id) keys.
 type Key []byte
 
-// Key encoding tags, chosen so NULL < INT < STRING in encoded order.
+// Key encoding tags, chosen so NULL < INT < STRING < FLOAT in encoded
+// order. Cross-kind order is arbitrary but fixed: columns are homogeneous,
+// so ordering only ever compares values of one kind.
 const (
 	tagNull   byte = 0x01
 	tagInt    byte = 0x02
 	tagString byte = 0x03
+	tagFloat  byte = 0x04
 )
+
+// floatKeyBits maps an IEEE-754 double to a uint64 whose unsigned order
+// matches numeric order: negative values flip every bit, non-negative
+// values flip only the sign bit.
+func floatKeyBits(f float64) uint64 {
+	bits := math.Float64bits(f)
+	if bits&(1<<63) != 0 {
+		return ^bits
+	}
+	return bits | (1 << 63)
+}
 
 // EncodeKey builds a memcomparable key from the given values.
 func EncodeKey(vals ...Value) Key {
@@ -41,11 +56,65 @@ func EncodeKey(vals ...Value) Key {
 				}
 			}
 			k = append(k, 0x00, 0x00)
+		case KindFloat:
+			k = append(k, tagFloat)
+			k = binary.BigEndian.AppendUint64(k, floatKeyBits(v.F))
 		default:
 			panic(fmt.Sprintf("engine: cannot encode kind %v in key", v.Kind))
 		}
 	}
 	return k
+}
+
+// DecodeKeyValue decodes the first value of a key, returning the value and
+// the number of bytes it occupied. ok is false for malformed keys.
+func DecodeKeyValue(k Key) (Value, int, bool) {
+	if len(k) == 0 {
+		return Value{}, 0, false
+	}
+	switch k[0] {
+	case tagNull:
+		return Null(), 1, true
+	case tagInt:
+		if len(k) < 9 {
+			return Value{}, 0, false
+		}
+		return Int(int64(binary.BigEndian.Uint64(k[1:]) ^ (1 << 63))), 9, true
+	case tagFloat:
+		if len(k) < 9 {
+			return Value{}, 0, false
+		}
+		bits := binary.BigEndian.Uint64(k[1:])
+		if bits&(1<<63) != 0 {
+			bits &^= 1 << 63
+		} else {
+			bits = ^bits
+		}
+		return Float(math.Float64frombits(bits)), 9, true
+	case tagString:
+		var s []byte
+		i := 1
+		for {
+			if i >= len(k) {
+				return Value{}, 0, false
+			}
+			if k[i] == 0x00 {
+				if i+1 < len(k) && k[i+1] == 0xFF {
+					s = append(s, 0x00)
+					i += 2
+					continue
+				}
+				if i+1 >= len(k) {
+					return Value{}, 0, false
+				}
+				return Str(string(s)), i + 2, true
+			}
+			s = append(s, k[i])
+			i++
+		}
+	default:
+		return Value{}, 0, false
+	}
 }
 
 // IntKey encodes a single int64 primary key (the common CloudyBench case).
@@ -72,6 +141,13 @@ func (k Key) String() string {
 		case tagNull:
 			out += "NULL"
 			buf = buf[1:]
+		case tagFloat:
+			v, n, ok := DecodeKeyValue(Key(buf))
+			if !ok {
+				return fmt.Sprintf("%x", []byte(k))
+			}
+			out += v.String()
+			buf = buf[n:]
 		case tagInt:
 			if len(buf) < 9 {
 				return fmt.Sprintf("%x", []byte(k))

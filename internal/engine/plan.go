@@ -1,0 +1,193 @@
+package engine
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"cloudybench/internal/storage"
+)
+
+// PlanMode selects how a range query chooses its access path.
+type PlanMode int
+
+// Plan modes.
+const (
+	// PlanAuto applies the selectivity rule: index scan when an index
+	// exists and the estimated selected fraction is at most
+	// IndexScanMaxFraction, full scan otherwise.
+	PlanAuto PlanMode = iota
+	// PlanForceIndex always uses the index (error if none exists).
+	PlanForceIndex
+	// PlanForceScan always uses the full table scan — the differential
+	// harness's oracle plan.
+	PlanForceScan
+)
+
+// PlanKind reports which access path served a query.
+type PlanKind int
+
+// Plan kinds.
+const (
+	PlanFullScan PlanKind = iota
+	PlanIndexScan
+)
+
+func (k PlanKind) String() string {
+	if k == PlanIndexScan {
+		return "index-scan"
+	}
+	return "full-scan"
+}
+
+// IndexScanMaxFraction is the planner's selectivity cliff: ranges estimated
+// to select at most this fraction of the column domain go through the
+// index; wider ranges pay the sequential scan (which reads pages in order
+// instead of chasing heap pointers).
+const IndexScanMaxFraction = 0.25
+
+// ScanResult is the outcome of a range query.
+type ScanResult struct {
+	// PKs and Rows are the matching primary keys and rows, ordered by
+	// (indexed column value, primary key) — identical for both plans, which
+	// is the differential harness's oracle property.
+	PKs  []Key
+	Rows []Row
+	// Pages are the distinct physical pages the plan touched, in first-touch
+	// order: index pages then heap pages for an index scan, every table page
+	// for a full scan. The node layer charges buffer traffic from it.
+	Pages []storage.PageID
+	Plan  PlanKind
+}
+
+// SelectRange returns visible rows whose column col value lies in [lo, hi],
+// ordered by (column value, primary key). limit > 0 caps the result (taken
+// in order, so both plans truncate identically). The scan is lock-free and
+// atomic (no simulation yields): replicas use it directly, transactions
+// wrap it with lock acquisition.
+func (t *Table) SelectRange(col int, lo, hi Value, limit int, mode PlanMode) (ScanResult, error) {
+	if col < 0 || col >= len(t.Schema.Cols) {
+		return ScanResult{}, fmt.Errorf("engine: scan column %d out of range for table %s", col, t.Schema.Name)
+	}
+	ix := t.ixByCol[col]
+	useIndex := false
+	switch mode {
+	case PlanForceIndex:
+		if ix == nil {
+			return ScanResult{}, fmt.Errorf("engine: no index on %s.%s", t.Schema.Name, t.Schema.Cols[col].Name)
+		}
+		useIndex = true
+	case PlanForceScan:
+		useIndex = false
+	default:
+		useIndex = ix != nil && t.estimateFraction(ix, lo, hi) <= IndexScanMaxFraction
+	}
+	if useIndex {
+		t.ixScans++
+		return t.indexScan(ix, lo, hi, limit), nil
+	}
+	t.fullScans++
+	return t.fullScan(col, lo, hi, limit), nil
+}
+
+// estimateFraction estimates the fraction of rows a range selects without
+// walking it: numeric domains interpolate the range width against the
+// index's current [min, max] bounds; string domains and point lookups are
+// assumed selective. This is the "simple selectivity rule" — a real
+// optimizer would use histograms.
+func (t *Table) estimateFraction(ix *Index, lo, hi Value) float64 {
+	if bytes.Equal(EncodeKey(lo), EncodeKey(hi)) {
+		return 0 // point lookup
+	}
+	min, max, ok := ix.Bounds()
+	if !ok {
+		return 0 // empty index: the scan is free either way
+	}
+	switch {
+	case lo.Kind == KindInt && hi.Kind == KindInt && min.Kind == KindInt && max.Kind == KindInt:
+		domain := max.I - min.I + 1
+		if domain <= 0 {
+			return 0
+		}
+		width := hi.I - lo.I + 1
+		if width <= 0 {
+			return 0
+		}
+		return float64(width) / float64(domain)
+	case lo.Kind == KindFloat && hi.Kind == KindFloat && min.Kind == KindFloat && max.Kind == KindFloat:
+		domain := max.F - min.F
+		if domain <= 0 {
+			return 0
+		}
+		width := hi.F - lo.F
+		if width <= 0 {
+			return 0
+		}
+		return width / domain
+	default:
+		return 0
+	}
+}
+
+func (t *Table) indexScan(ix *Index, lo, hi Value, limit int) ScanResult {
+	res := ScanResult{Plan: PlanIndexScan}
+	seen := make(map[storage.PageID]struct{})
+	touch := func(pg storage.PageID) {
+		if _, ok := seen[pg]; !ok {
+			seen[pg] = struct{}{}
+			res.Pages = append(res.Pages, pg)
+		}
+	}
+	ix.Scan(lo, hi, func(pk Key, ixPage storage.PageID) bool {
+		touch(ixPage)
+		row, heapPage, ok := t.Get(pk)
+		if !ok {
+			panic(fmt.Sprintf("engine: index %s entry for missing row %s", ix.Name, pk))
+		}
+		touch(heapPage)
+		res.PKs = append(res.PKs, pk)
+		res.Rows = append(res.Rows, row)
+		return limit <= 0 || len(res.Rows) < limit
+	})
+	return res
+}
+
+func (t *Table) fullScan(col int, lo, hi Value, limit int) ScanResult {
+	res := ScanResult{Plan: PlanFullScan}
+	loK, hiK := EncodeKey(lo), EncodeKey(hi)
+	type match struct {
+		sortKey Key
+		pk      Key
+		row     Row
+	}
+	var matches []match
+	t.VisibleScan(func(pk Key, r Row) bool {
+		vK := EncodeKey(r[col])
+		if bytes.Compare(vK, loK) < 0 || bytes.Compare(vK, hiK) > 0 {
+			return true
+		}
+		matches = append(matches, match{sortKey: append(vK, pk...), pk: pk, row: r})
+		return true
+	})
+	sort.Slice(matches, func(i, j int) bool {
+		return bytes.Compare(matches[i].sortKey, matches[j].sortKey) < 0
+	})
+	if limit > 0 && len(matches) > limit {
+		matches = matches[:limit]
+	}
+	for _, m := range matches {
+		res.PKs = append(res.PKs, m.pk)
+		res.Rows = append(res.Rows, m.row)
+	}
+	// A sequential scan touches every page of the table.
+	for num := uint64(0); num < t.Pages(); num++ {
+		res.Pages = append(res.Pages, storage.PageID{Table: t.ID, Num: num})
+	}
+	return res
+}
+
+// ScanStats returns how many range queries each plan has served on this
+// table.
+func (t *Table) ScanStats() (indexScans, fullScans int64) {
+	return t.ixScans, t.fullScans
+}

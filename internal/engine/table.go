@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 
@@ -91,6 +92,18 @@ type Table struct {
 	nextAuto  int64 // next auto-increment id to hand out
 	appendSeq int64 // physical slots assigned to post-load inserts
 	liveRows  int64
+
+	// indexes holds secondary indexes in creation order (deterministic:
+	// schema setup runs identically on every node). ixOps is the per-write
+	// scratch list of physical index-entry changes, reset at the start of
+	// each mutation — writing transactions read it to emit index WAL
+	// records; rollback and replica replay let the next write overwrite it.
+	indexes []*Index
+	ixByCol map[int]*Index
+	ixOps   []IndexOp
+
+	// scan counters: how many range queries each plan served (reports).
+	ixScans, fullScans int64
 }
 
 // NewTable creates a table. baseRows may be zero (fully delta-backed, as in
@@ -194,6 +207,7 @@ func (t *Table) Insert(k Key, r Row) (storage.PageID, error) {
 		// Re-insert over tombstone reuses the row's original page.
 		t.delta.Set(k, deltaVal{row: r.Clone(), page: dv.page})
 		t.liveRows++
+		t.refreshIndexes(k, nil)
 		return dv.page, nil
 	}
 	if _, ok := t.isBaseKey(k); ok {
@@ -205,15 +219,18 @@ func (t *Table) Insert(k Key, r Row) (storage.PageID, error) {
 	if id, ok := DecodeIntKey(k); ok {
 		t.BumpAutoID(id)
 	}
+	t.refreshIndexes(k, nil)
 	return page, nil
 }
 
 // InsertAt adds a row at a specific page (replica replay of a shipped
 // insert, keeping page identity consistent with the primary).
 func (t *Table) InsertAt(k Key, r Row, page storage.PageID) {
+	old := t.visibleForIndex(k)
 	if dv, ok := t.delta.Get(k); ok && dv.row != nil {
 		// Idempotent replay: overwrite in place.
 		t.delta.Set(k, deltaVal{row: r.Clone(), page: page})
+		t.refreshIndexes(k, old)
 		return
 	}
 	// Fresh insert or re-insert over a tombstone: row becomes visible.
@@ -222,6 +239,7 @@ func (t *Table) InsertAt(k Key, r Row, page storage.PageID) {
 	if id, ok := DecodeIntKey(k); ok {
 		t.BumpAutoID(id)
 	}
+	t.refreshIndexes(k, old)
 }
 
 // ErrRowNotFound is returned for updates/deletes of missing rows.
@@ -235,12 +253,15 @@ func (t *Table) Update(k Key, r Row) (storage.PageID, Row, error) {
 		return storage.PageID{}, nil, ErrRowNotFound
 	}
 	t.delta.Set(k, deltaVal{row: r.Clone(), page: page})
+	t.refreshIndexes(k, old)
 	return page, old, nil
 }
 
 // UpdateAt applies a replicated update image at the given page.
 func (t *Table) UpdateAt(k Key, r Row, page storage.PageID) {
+	old := t.visibleForIndex(k)
 	t.delta.Set(k, deltaVal{row: r.Clone(), page: page})
+	t.refreshIndexes(k, old)
 }
 
 // Delete tombstones the row under k, returning the page and old row. The
@@ -252,15 +273,18 @@ func (t *Table) Delete(k Key) (storage.PageID, Row, error) {
 	}
 	t.delta.Set(k, deltaVal{row: nil, page: page})
 	t.liveRows--
+	t.refreshIndexes(k, old)
 	return page, old, nil
 }
 
 // DeleteAt applies a replicated delete at the given page.
 func (t *Table) DeleteAt(k Key, page storage.PageID) {
+	old := t.visibleForIndex(k)
 	if _, _, visible := t.Get(k); visible {
 		t.liveRows--
 	}
 	t.delta.Set(k, deltaVal{row: nil, page: page})
+	t.refreshIndexes(k, old)
 }
 
 // undoSet restores the exact prior delta state. wasDelta records whether
@@ -272,6 +296,7 @@ func (t *Table) DeleteAt(k Key, page storage.PageID) {
 // convergence invariant compares overlays byte for byte). Used by
 // transaction rollback.
 func (t *Table) undoSet(k Key, prior Row, page storage.PageID, existedBefore, wasDelta bool) {
+	old := t.visibleForIndex(k)
 	_, _, visible := t.Get(k)
 	switch {
 	case existedBefore && wasDelta:
@@ -299,6 +324,7 @@ func (t *Table) undoSet(k Key, prior Row, page storage.PageID, existedBefore, wa
 		}
 		t.delta.Delete(k)
 	}
+	t.refreshIndexes(k, old)
 }
 
 // Scan visits visible rows with primary-key ids in [loID, hiID] in key
@@ -349,4 +375,114 @@ func (t *Table) ScanDelta(fn func(k Key, row Row, tombstone bool) bool) {
 	t.delta.AscendRange(nil, nil, func(k Key, dv deltaVal) bool {
 		return fn(k, dv.row, dv.row == nil)
 	})
+}
+
+// VisibleScan visits every visible row in primary-key order, merging the
+// generator-backed base rows with the delta overlay. It backs eager index
+// builds, the full-scan query plan, and the IndexCoherent checker's
+// ground-truth projection.
+func (t *Table) VisibleScan(fn func(k Key, r Row) bool) {
+	type dent struct {
+		k   Key
+		row Row // nil = tombstone, suppresses the base row
+	}
+	var delta []dent
+	t.delta.AscendRange(nil, nil, func(k Key, dv deltaVal) bool {
+		delta = append(delta, dent{k: k, row: dv.row})
+		return true
+	})
+	di := 0
+	for id := int64(1); id <= t.baseRows; id++ {
+		k := IntKey(id)
+		for di < len(delta) && bytes.Compare(delta[di].k, k) < 0 {
+			if delta[di].row != nil && !fn(delta[di].k, delta[di].row) {
+				return
+			}
+			di++
+		}
+		if di < len(delta) && bytes.Equal(delta[di].k, k) {
+			if delta[di].row != nil && !fn(delta[di].k, delta[di].row) {
+				return
+			}
+			di++
+			continue
+		}
+		if !fn(k, t.gen(id)) {
+			return
+		}
+	}
+	for ; di < len(delta); di++ {
+		if delta[di].row != nil && !fn(delta[di].k, delta[di].row) {
+			return
+		}
+	}
+}
+
+// CreateIndex builds a secondary index over the named column, eagerly
+// materialized from the table's current visible rows. id is the synthetic
+// TableID naming the index's page space (allocated by the DB). One index
+// per column is supported.
+func (t *Table) CreateIndex(name string, id storage.TableID, colName string) (*Index, error) {
+	col := t.Schema.ColIndex(colName)
+	if col < 0 {
+		return nil, fmt.Errorf("engine: index %s: unknown column %q in table %s", name, colName, t.Schema.Name)
+	}
+	switch t.Schema.Cols[col].Kind {
+	case KindInt, KindFloat, KindString:
+	default:
+		return nil, fmt.Errorf("engine: index %s: cannot index %v column %q", name, t.Schema.Cols[col].Kind, colName)
+	}
+	if t.ixByCol == nil {
+		t.ixByCol = make(map[int]*Index)
+	}
+	if _, dup := t.ixByCol[col]; dup {
+		return nil, fmt.Errorf("engine: table %s already has an index on column %q", t.Schema.Name, colName)
+	}
+	ix := newIndex(name, id, t, col)
+	t.indexes = append(t.indexes, ix)
+	t.ixByCol[col] = ix
+	return ix, nil
+}
+
+// Indexes returns the table's secondary indexes in creation order.
+func (t *Table) Indexes() []*Index { return t.indexes }
+
+// IndexOn returns the index over the given column offset, or nil.
+func (t *Table) IndexOn(col int) *Index { return t.ixByCol[col] }
+
+// IndexOps returns the physical index-entry changes recorded by the most
+// recent mutation of this table (valid until the next mutation). Writing
+// transactions read it to emit index WAL records and charge index pages.
+func (t *Table) IndexOps() []IndexOp { return t.ixOps }
+
+// visibleForIndex returns the visible row under k, or nil — but only when
+// the table has indexes (the lookup exists solely to diff index state
+// around a mutation, so index-free tables skip it entirely).
+func (t *Table) visibleForIndex(k Key) Row {
+	if len(t.indexes) == 0 {
+		return nil
+	}
+	if r, _, ok := t.Get(k); ok {
+		return r
+	}
+	return nil
+}
+
+// refreshIndexes diffs the visible row under k against its pre-mutation
+// image and patches every index, recording the entry changes on ixOps.
+// Centralizing maintenance here — below transactions, below replay — is
+// what makes indexes exact projections on every node: rollback and replica
+// replay are just more visible-state changes.
+func (t *Table) refreshIndexes(k Key, old Row) {
+	if len(t.indexes) == 0 {
+		return
+	}
+	t.ixOps = t.ixOps[:0]
+	var cur Row
+	if r, _, ok := t.Get(k); ok {
+		cur = r
+	}
+	for _, ix := range t.indexes {
+		ix.apply(k, old, cur)
+	}
 }

@@ -64,9 +64,22 @@ func TestCrossGOMAXPROCSDeterminism(t *testing.T) {
 		if err := obs.WritePrometheus(&prom, tr.Agg()); err != nil {
 			t.Fatal(err)
 		}
-		return fmt.Sprintf("tps=%v p50=%v p99=%v hit=%v cost=%v traces=%d spans=%d | %s\n%s",
+		// Every registered workload suite is held to the same standard:
+		// commits, planner split, index WAL traffic, and per-op counts must
+		// not depend on real parallelism.
+		var suites strings.Builder
+		for _, name := range core.SuiteNames() {
+			sr := RunSuite(SuiteConfig{
+				Suite: name, Kind: cdb.CDB1,
+				Span: 2 * time.Second, Concurrency: 3, Seed: 7,
+			})
+			fmt.Fprintf(&suites, "%s c=%d e=%d tps=%v ix=%d fs=%d wp=%d wd=%d ops=%v pass=%v|",
+				sr.Suite, sr.Commits, sr.Errors, sr.TPS, sr.IndexScans, sr.FullScans,
+				sr.IndexWALPuts, sr.IndexWALDels, sr.Ops, sr.Passed())
+		}
+		return fmt.Sprintf("tps=%v p50=%v p99=%v hit=%v cost=%v traces=%d spans=%d | %s | %s\n%s",
 			o.TPS, o.P50, o.P99, o.HitRatio, o.CostPerMin.Total(),
-			counts.Traces, counts.Spans, chaosFingerprint(c), prom.String())
+			counts.Traces, counts.Spans, chaosFingerprint(c), suites.String(), prom.String())
 	}
 	prev := runtime.GOMAXPROCS(1)
 	one := render()

@@ -1,0 +1,241 @@
+package evaluator
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"cloudybench/internal/cdb"
+	"cloudybench/internal/chaos"
+	"cloudybench/internal/check"
+	"cloudybench/internal/core"
+	"cloudybench/internal/engine"
+	"cloudybench/internal/sim"
+	"cloudybench/internal/storage"
+)
+
+// sortedNames fixes the walk order over a table map so summed planner
+// stats accumulate deterministically.
+func sortedNames(m map[string]*engine.Table) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SuiteConfig parameterizes one registered workload suite's run on one SUT.
+// Suites compose with the same gauntlets as the Table II mix: Chaos attaches
+// the standard fault schedule, Partition the gray-partition fail-over — so
+// secondary-index maintenance is exercised under exactly the conditions the
+// invariants judge.
+type SuiteConfig struct {
+	// Suite is a registered suite name (core.SuiteNames()).
+	Suite string
+	Kind  cdb.Kind
+	SF    int
+	// Concurrency is the client count (default 8).
+	Concurrency int
+	// Span is the traffic window (default 10s).
+	Span time.Duration
+	Seed int64
+	// Chaos runs the suite under the standard chaos gauntlet.
+	Chaos bool
+	// Partition runs the suite under the gray-partition gauntlet (fail-over
+	// or await-heal restart, lease fencing, resilient client).
+	Partition bool
+	// ScanOverride intercepts every read-only suite scan — the differential
+	// harness's dual-plan hook. Nil scans through the planner normally.
+	ScanOverride core.ScanFunc
+}
+
+func (c SuiteConfig) withDefaults() SuiteConfig {
+	if c.SF < 1 {
+		c.SF = 1
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 8
+	}
+	if c.Span <= 0 {
+		c.Span = 10 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return c
+}
+
+// SuiteResult is one suite × SUT verdict sheet plus planner and index-WAL
+// accounting.
+type SuiteResult struct {
+	Suite string
+	Kind  cdb.Kind
+
+	Commits   int64
+	Errors    int64
+	Terminals int64
+	TPS       float64
+	// Ops is the per-operation commit breakdown, sorted by op name.
+	Ops []core.OpCount
+
+	// IndexScans / FullScans total the planner's choices across every node
+	// and table (the selectivity sweep shows up as a split between them).
+	IndexScans int64
+	FullScans  int64
+	// IndexWALPuts / IndexWALDels count the RecIndexPut / RecIndexDelete
+	// records across all node logs — proof that index maintenance flows
+	// through the WAL (and therefore through fencing and replication).
+	IndexWALPuts int64
+	IndexWALDels int64
+
+	Fenced int64
+	Epoch  uint64
+
+	Verdicts []check.Verdict
+	Applied  []chaos.Applied
+}
+
+// Passed reports whether every invariant held.
+func (r SuiteResult) Passed() bool { return check.AllPassed(r.Verdicts) }
+
+// RunSuite drives one registered suite against one SUT, optionally under
+// the chaos or partition gauntlet, then judges IndexCoherent on every node
+// and Convergence on every replica. Deterministic: the same config yields
+// the same verdicts and metrics.
+func RunSuite(cfg SuiteConfig) SuiteResult {
+	cfg = cfg.withDefaults()
+	suite := core.SuiteByName(cfg.Suite)
+	if suite == nil {
+		panic(fmt.Sprintf("evaluator: unknown suite %q (have %v)", cfg.Suite, core.SuiteNames()))
+	}
+	s := sim.New(simEpoch)
+	d := cdb.MustDeploy(s, cdb.ProfileFor(cfg.Kind), cdb.Options{
+		SF: cfg.SF, Seed: cfg.Seed, Replicas: 1, PreWarm: true,
+		Serverless:  cdb.Bool(false),
+		ExtraSchema: func(db *engine.DB) error { return suite.Tables(db, cfg.SF, cfg.Seed) },
+	})
+	if cfg.Partition {
+		d.Fence.SetRecording(true)
+	}
+
+	var inj *chaos.Injector
+	injectAt := cfg.Span
+	if cfg.Chaos || cfg.Partition {
+		sched := chaos.Standard(cfg.Span)
+		if cfg.Partition {
+			sched = PartitionSchedule(cfg.Span)
+			for _, ev := range sched.Events {
+				if ev.Kind == chaos.Partition || ev.Kind == chaos.AsymPartition {
+					injectAt = ev.At
+					break
+				}
+			}
+		}
+		var err error
+		inj, err = chaos.NewInjector(s, sched, chaos.Targets{
+			Cluster: d.Cluster,
+			Links:   d.Links(),
+			Net:     d.Net,
+			Seed:    cfg.Seed,
+		})
+		if err != nil {
+			panic("evaluator: suite schedule: " + err.Error())
+		}
+		inj.Start()
+	}
+	if cfg.Partition {
+		d.StartDetector()
+	}
+
+	col := core.NewCollector()
+	r := core.NewRunner(s, core.Config{
+		Name: "suite/" + cfg.Suite, Seed: cfg.Seed,
+		Write:          d.RW,
+		Read:           d.ReadNode,
+		ReadCandidates: d.ReadCandidates,
+		Reachable:      d.ClientReachable,
+		Collector:      col,
+		Ops:            suite.Ops(cfg.SF),
+		ScanOverride:   cfg.ScanOverride,
+	})
+
+	s.Go("ctl", func(p *sim.Proc) {
+		r.SetConcurrency(cfg.Concurrency)
+		p.Sleep(cfg.Span)
+		r.Stop()
+		r.Wait(p)
+		if cfg.Partition {
+			// Keep the cluster running until write service is restored, so
+			// the post-fail-over index state is judged, not the mid-outage
+			// one (bounded by a virtual deadline).
+			deadline := p.Elapsed() + 2*time.Minute
+			for p.Elapsed() < deadline && !recoveredAfter(d.Cluster.Timeline(), injectAt) {
+				p.Sleep(500 * time.Millisecond)
+			}
+		}
+		for _, st := range d.Streams() {
+			for {
+				shipped, applied := st.Counts()
+				if st.Backlog() == 0 && shipped == applied {
+					break
+				}
+				p.Sleep(10 * time.Millisecond)
+			}
+		}
+		d.Shutdown()
+	})
+	if err := s.Run(); err != nil {
+		panic("evaluator: suite run: " + err.Error())
+	}
+
+	res := SuiteResult{
+		Suite:     cfg.Suite,
+		Kind:      cfg.Kind,
+		Commits:   col.Commits(),
+		Errors:    col.Errors(),
+		Terminals: col.Terminals(),
+		TPS:       col.TPS(0, cfg.Span),
+		Ops:       col.OpCounts(),
+		Fenced:    d.Fence.Rejects(),
+		Epoch:     d.Fence.Epoch(),
+	}
+	if inj != nil {
+		res.Applied = inj.Applied()
+	}
+	for _, n := range d.Nodes() {
+		tables := n.DB.Tables()
+		for _, name := range sortedNames(tables) {
+			ix, full := tables[name].ScanStats()
+			res.IndexScans += ix
+			res.FullScans += full
+		}
+		for _, rec := range n.DB.Log().Read(0, 0) {
+			switch rec.Type {
+			case storage.RecIndexPut:
+				res.IndexWALPuts++
+			case storage.RecIndexDelete:
+				res.IndexWALDels++
+			}
+		}
+	}
+
+	// Verdicts: the lease trio (partition only), index coherence on every
+	// node, convergence on every replica.
+	if cfg.Partition {
+		res.Verdicts = append(res.Verdicts, check.FenceVerdicts(d.Fence)...)
+	}
+	rwDB := d.RW().DB
+	for _, m := range d.Cluster.Members() {
+		name := m.Node.Name
+		if i := strings.LastIndexByte(name, '/'); i >= 0 {
+			name = name[i+1:]
+		}
+		res.Verdicts = append(res.Verdicts, check.IndexCoherent(name, m.Node.DB))
+		if m.Node != d.RW() {
+			res.Verdicts = append(res.Verdicts, check.Convergence(name, rwDB, m.Node.DB))
+		}
+	}
+	return res
+}

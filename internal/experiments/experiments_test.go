@@ -26,6 +26,8 @@ var tiny = Scale{
 	LagConc:      4,
 	PartSpan:     8 * time.Second,
 	PartConc:     4,
+	SuiteSpan:    3 * time.Second,
+	SuiteConc:    4,
 	Seed:         42,
 }
 
@@ -50,6 +52,8 @@ var mini = Scale{
 	ChaosConc:    3,
 	PartSpan:     4 * time.Second,
 	PartConc:     3,
+	SuiteSpan:    1500 * time.Millisecond,
+	SuiteConc:    3,
 	Seed:         42,
 }
 
@@ -67,7 +71,7 @@ func TestParallelCellsAreByteIdentical(t *testing.T) {
 		}
 		return out
 	}
-	for _, id := range []string{"f5", "f6", "lag", "partition"} {
+	for _, id := range []string{"f5", "f6", "lag", "partition", "suites"} {
 		SetParallelism(1)
 		seq := run(id)
 		SetParallelism(4)
@@ -85,7 +89,7 @@ func TestParallelCellsAreByteIdentical(t *testing.T) {
 }
 
 func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
-	want := []string{"ablations", "chaos", "f5", "f6", "f7", "f8", "f9", "lag", "oltp", "partition", "t5", "t6", "t7", "t8", "t9"}
+	want := []string{"ablations", "chaos", "f5", "f6", "f7", "f8", "f9", "lag", "oltp", "partition", "suites", "t5", "t6", "t7", "t8", "t9"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("ids = %v", got)

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"time"
 
+	"cloudybench/internal/cdb"
+	"cloudybench/internal/core"
 	"cloudybench/internal/evaluator"
 	"cloudybench/internal/metrics"
 	"cloudybench/internal/report"
@@ -62,9 +64,39 @@ func Partition(sc Scale) (string, []evaluator.PartitionResult) {
 			}
 		}
 	}
+	// Suite gauntlet: every registered workload suite rides the same gray
+	// partition on the promote architecture (CDB4), so the fenced-write
+	// check judges secondary-index WAL records, not just heap records — a
+	// stale-epoch primary must have its index maintenance refused along
+	// with the data it derives from.
+	suiteNames := core.SuiteNames()
+	suiteResults := runCells(len(suiteNames), func(i int) evaluator.SuiteResult {
+		return evaluator.RunSuite(evaluator.SuiteConfig{
+			Suite: suiteNames[i], Kind: cdb.CDB4,
+			Span: sc.PartSpan, Concurrency: sc.PartConc, Seed: sc.Seed,
+			Partition: true,
+		})
+	})
+	stbl := report.NewTable("Suite gauntlet — registered suites through the same gray partition (cdb4)",
+		"Suite", "Verdict", "Commits", "Fenced", "Epoch", "IxPut", "IxDel")
+	for _, r := range suiteResults {
+		verdict := "PASS"
+		if !r.Passed() {
+			verdict = "FAIL"
+		}
+		stbl.AddRow(r.Suite, verdict,
+			fmt.Sprintf("%d", r.Commits),
+			fmt.Sprintf("%d", r.Fenced),
+			fmt.Sprintf("%d", r.Epoch),
+			fmt.Sprintf("%d", r.IndexWALPuts),
+			fmt.Sprintf("%d", r.IndexWALDels))
+	}
+
 	var b strings.Builder
 	b.WriteString(tbl.String())
 	b.WriteString(detail.String())
+	b.WriteString("\n")
+	b.WriteString(stbl.String())
 	fmt.Fprintf(&b, "\nPartition schedule (per run): cut rw | {ctrl, ro0} at %v (gray: clients still reach rw), heal at %v\n",
 		time.Duration(float64(sc.PartSpan)*0.25), time.Duration(float64(sc.PartSpan)*0.60))
 	b.WriteString("dO = -SF*lg(FPart) — the partition-recovery term the MTTR adds to the O-Score denominator\n")

@@ -43,6 +43,8 @@ var registry = map[string]struct {
 		func(sc Scale) string { out, _ := OLTPTrace(sc); return out }},
 	"partition": {"Partition gauntlet — MTTD/MTTR, lease fencing, and resilient-client metrics under a gray partition, all SUTs",
 		func(sc Scale) string { out, _ := Partition(sc); return out }},
+	"suites": {"Scenario suites — registered workload families (indexed range scan, time-series, LOB) on every SUT, with selectivity sweep and chaos/partition composition",
+		func(sc Scale) string { out, _ := Suites(sc); return out }},
 }
 
 // IDs returns all experiment ids in sorted order.

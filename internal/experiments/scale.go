@@ -51,6 +51,11 @@ type Scale struct {
 	PartSpan time.Duration
 	PartConc int
 
+	// Scenario suites (cloudybench run suites) — registered workload
+	// families on every SUT, plus their chaos/partition composition cells.
+	SuiteSpan time.Duration
+	SuiteConc int
+
 	// TraceDir, when non-empty, makes trace-aware experiments (the "oltp"
 	// stage-profile run) write JSONL span files and a Prometheus-text
 	// metrics snapshot into the directory (created if missing). Empty
@@ -80,6 +85,8 @@ var Quick = Scale{
 	ChaosConc:    8,
 	PartSpan:     18 * time.Second,
 	PartConc:     12,
+	SuiteSpan:    6 * time.Second,
+	SuiteConc:    8,
 	Seed:         42,
 }
 
@@ -103,6 +110,8 @@ var Paper = Scale{
 	ChaosConc:    32,
 	PartSpan:     40 * time.Second,
 	PartConc:     32,
+	SuiteSpan:    20 * time.Second,
+	SuiteConc:    16,
 	Seed:         42,
 }
 
@@ -128,6 +137,8 @@ var Bench = Scale{
 	ChaosConc:    6,
 	PartSpan:     12 * time.Second,
 	PartConc:     6,
+	SuiteSpan:    3 * time.Second,
+	SuiteConc:    4,
 	Seed:         42,
 }
 

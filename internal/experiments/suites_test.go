@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cloudybench/internal/core"
+)
+
+// TestSuitesGolden pins the rendered scenario-suite report byte for byte —
+// per-suite throughput, the planner split, index WAL traffic, the
+// selectivity sweep, and the gauntlet composition table all feed
+// EXPERIMENTS.md verbatim. Regenerate deliberately with -update.
+func TestSuitesGolden(t *testing.T) {
+	out, _ := Suites(mini)
+	path := filepath.Join("testdata", "suites.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if out != string(want) {
+		t.Errorf("suites report drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", out, want)
+	}
+}
+
+// TestSuitesCoversGridAndPasses checks the experiment's shape: every
+// registered suite appears on every SUT plus one chaos and one partition
+// composition cell, every cell's invariants pass, and the report shows the
+// selectivity cliff (both plans present in the sweep).
+func TestSuitesCoversGridAndPasses(t *testing.T) {
+	out, results := Suites(tiny)
+	suites := core.SuiteNames()
+	wantCells := len(suites)*len(SUTs) + 2*len(suites)
+	if len(results) != wantCells {
+		t.Fatalf("cells = %d, want %d", len(results), wantCells)
+	}
+	for _, r := range results {
+		if !r.Passed() {
+			t.Errorf("%s on %s: invariants failed: %v", r.Suite, r.Kind, r.Verdicts)
+		}
+		if r.Commits == 0 {
+			t.Errorf("%s on %s: no commits", r.Suite, r.Kind)
+		}
+	}
+	for _, suite := range suites {
+		if !strings.Contains(out, suite) {
+			t.Fatalf("report missing suite %q:\n%s", suite, out)
+		}
+	}
+	for _, kind := range SUTs {
+		if !strings.Contains(out, string(kind)) {
+			t.Fatalf("report missing SUT %q:\n%s", kind, out)
+		}
+	}
+	for _, want := range []string{"index-scan", "full-scan", "Selectivity sweep", "chaos", "partition", "IxPut"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+	// The partition composition on CDB4 must exercise fencing of index
+	// writes: at least one suite run fenced stale writes or advanced the
+	// epoch, and index WAL records flowed in every partition cell.
+	var sawPromotion bool
+	for i, r := range results {
+		c := suiteGrid()[i]
+		if !c.partition {
+			continue
+		}
+		if r.Epoch >= 2 {
+			sawPromotion = true
+		}
+		if r.IndexWALPuts == 0 {
+			t.Errorf("%s under partition: no index WAL records", r.Suite)
+		}
+	}
+	if !sawPromotion {
+		t.Error("no partition cell promoted (epoch never advanced) — gauntlet composition inert")
+	}
+}

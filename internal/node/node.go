@@ -436,7 +436,8 @@ func (t *Tx) GetForUpdate(tbl *engine.Table, k engine.Key) (engine.Row, error) {
 	return row, err
 }
 
-// Insert adds a row, charging CPU and the page write.
+// Insert adds a row, charging CPU and the page write (plus one page write
+// per touched secondary-index page).
 func (t *Tx) Insert(tbl *engine.Table, row engine.Row) error {
 	t.n.ChargeCPU(t.p, t.n.opCPU)
 	page, err := t.inner.Insert(tbl, row)
@@ -444,6 +445,7 @@ func (t *Tx) Insert(tbl *engine.Table, row engine.Row) error {
 		return err
 	}
 	t.n.WritePage(t.p, page)
+	t.chargeIndexPages()
 	return nil
 }
 
@@ -455,6 +457,7 @@ func (t *Tx) Update(tbl *engine.Table, k engine.Key, row engine.Row) error {
 		return err
 	}
 	t.n.WritePage(t.p, page)
+	t.chargeIndexPages()
 	return nil
 }
 
@@ -466,7 +469,35 @@ func (t *Tx) Delete(tbl *engine.Table, k engine.Key) error {
 		return err
 	}
 	t.n.WritePage(t.p, page)
+	t.chargeIndexPages()
 	return nil
+}
+
+// chargeIndexPages pays buffer traffic for the index pages the last write
+// maintained — index writes compete for the same buffer pool and storage
+// channel as heap writes, which is what makes index overhead visible per
+// architecture.
+func (t *Tx) chargeIndexPages() {
+	for _, pg := range t.inner.LastIndexPages() {
+		t.n.WritePage(t.p, pg)
+	}
+}
+
+// ScanRange runs a range query inside the transaction (see
+// engine.Txn.ScanRange), charging one CPU slice scaled by the pages the
+// chosen plan touched plus a page read per touched page. Full scans pay
+// for every table page — the planner's selectivity cliff is a real
+// resource cliff.
+func (t *Tx) ScanRange(tbl *engine.Table, col int, lo, hi engine.Value, limit int, mode engine.PlanMode) ([]engine.Row, error) {
+	res, err := t.inner.ScanRange(tbl, col, lo, hi, limit, mode)
+	if err != nil {
+		return nil, err
+	}
+	t.n.ChargeCPU(t.p, t.n.opCPU*time.Duration(1+len(res.Pages)))
+	for _, pg := range res.Pages {
+		t.n.ReadPage(t.p, pg)
+	}
+	return res.Rows, nil
 }
 
 // ErrFenced mirrors storage.ErrFenced for callers that only import node.
@@ -519,6 +550,38 @@ func (t *Tx) Commit() error {
 
 // Abort rolls the transaction back.
 func (t *Tx) Abort() error { return t.inner.Abort() }
+
+// ScanRead serves a lock-free range query on this node (the replica read
+// path), charging CPU scaled by touched pages plus a page read per page.
+func (n *Node) ScanRead(p *sim.Proc, table string, col int, lo, hi engine.Value, limit int, mode engine.PlanMode) ([]engine.Row, error) {
+	if err := n.AwaitRunning(p); err != nil {
+		return nil, err
+	}
+	tbl := n.DB.Table(table)
+	if tbl == nil {
+		return nil, errors.New("node: scan of unknown table " + table)
+	}
+	if n.faultReject() {
+		return nil, ErrIOFault
+	}
+	res, err := tbl.SelectRange(col, lo, hi, limit, mode)
+	if err != nil {
+		return nil, err
+	}
+	n.ScanCharge(p, res.Pages)
+	return res.Rows, nil
+}
+
+// ScanCharge pays the CPU and page-read cost of a range scan executed
+// out-of-band: the differential harness runs both plans atomically (no
+// yields between them) and settles the bill afterwards, so a dual-plan run
+// paces virtual time exactly like a planner-served one.
+func (n *Node) ScanCharge(p *sim.Proc, pages []storage.PageID) {
+	n.ChargeCPU(p, n.opCPU*time.Duration(1+len(pages)))
+	for _, pg := range pages {
+		n.ReadPage(p, pg)
+	}
+}
 
 // Read serves a lock-free read on this node (the replica read path),
 // charging CPU and page access. Missing rows return (nil, false).

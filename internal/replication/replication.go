@@ -302,10 +302,14 @@ func (st *Stream) AppliedLSN() storage.LSN { return st.appliedLSN }
 // Counts returns shipped and applied record counts.
 func (st *Stream) Counts() (shipped, applied int64) { return st.shipped, st.applied }
 
-// Backlog returns records shipped but not yet applied plus records waiting
-// to ship.
+// Backlog returns records accepted but not yet applied: waiting to ship,
+// mid-transfer in the shipper's in-flight batch, or queued in a replay
+// lane. The in-flight batch must count — it is invisible to Counts() until
+// the transfer lands, so a quiesce loop testing Backlog()==0 &&
+// shipped==applied would otherwise declare convergence while a batch is
+// still crossing the (possibly multi-hop) ship path.
 func (st *Stream) Backlog() int {
-	n := len(st.inbox)
+	n := len(st.inbox) + len(st.inflight)
 	for _, l := range st.lanes {
 		n += len(l.queue)
 	}

@@ -18,6 +18,13 @@ type Execer interface {
 	Delete(tbl *engine.Table, k engine.Key) error
 }
 
+// ScanExecer is implemented by executors that can run a range scan through
+// the engine's planner. Range and secondary-equality SELECTs require it;
+// node.Tx and EngineExec both qualify.
+type ScanExecer interface {
+	ScanRange(tbl *engine.Table, col int, lo, hi engine.Value, limit int, mode engine.PlanMode) ([]engine.Row, error)
+}
+
 // Result is a statement outcome: projected rows for SELECT, affected row
 // count for DML.
 type Result struct {
@@ -64,8 +71,21 @@ func (s *Stmt) Exec(ex Execer, args ...engine.Value) (Result, error) {
 		return s.execUpdate(ex, args)
 	case StmtDelete:
 		return s.execDelete(ex, args)
+	case StmtCreateIndex:
+		return s.execCreateIndex()
 	}
 	return Result{}, fmt.Errorf("sqlmini: unknown statement kind %d", s.Kind)
+}
+
+// execCreateIndex runs DDL directly against the owning database (indexes
+// are per-node derived state, not transactional writes). Affected reports
+// the number of base rows materialized into the new index.
+func (s *Stmt) execCreateIndex() (Result, error) {
+	ix, err := s.db.CreateIndex(s.table.Schema.Name, s.ixName, s.table.Schema.Cols[s.ixCol].Name)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Affected: ix.Len()}, nil
 }
 
 func (s *Stmt) whereKey(args []engine.Value) (engine.Key, error) {
@@ -77,6 +97,9 @@ func (s *Stmt) whereKey(args []engine.Value) (engine.Key, error) {
 }
 
 func (s *Stmt) execSelect(ex Execer, args []engine.Value) (Result, error) {
+	if s.whereLo != nil {
+		return s.execSelectRange(ex, args)
+	}
 	key, err := s.whereKey(args)
 	if err != nil {
 		return Result{}, err
@@ -97,6 +120,41 @@ func (s *Stmt) execSelect(ex Execer, args []engine.Value) (Result, error) {
 			out[i] = row[ci]
 		}
 		res.Rows = []engine.Row{out}
+	}
+	return res, nil
+}
+
+// execSelectRange lowers a BETWEEN / secondary-equality predicate onto the
+// engine planner through a ScanExecer. s.Plan picks the strategy.
+func (s *Stmt) execSelectRange(ex Execer, args []engine.Value) (Result, error) {
+	sc, ok := ex.(ScanExecer)
+	if !ok {
+		return Result{}, fmt.Errorf("sqlmini: executor cannot run range scans for %q", s.SQL)
+	}
+	kind := s.table.Schema.Cols[s.whereCol].Kind
+	lo, err := s.whereLo.value(args)
+	if err != nil {
+		return Result{}, err
+	}
+	hi, err := s.whereHi.value(args)
+	if err != nil {
+		return Result{}, err
+	}
+	rows, err := sc.ScanRange(s.table, s.whereCol, coerce(lo, kind), coerce(hi, kind), 0, s.Plan)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Cols: s.projectedCols()}
+	for _, row := range rows {
+		if s.selectCols == nil {
+			res.Rows = append(res.Rows, row.Clone())
+			continue
+		}
+		out := make(engine.Row, len(s.selectCols))
+		for i, ci := range s.selectCols {
+			out[i] = row[ci]
+		}
+		res.Rows = append(res.Rows, out)
 	}
 	return res, nil
 }
@@ -245,4 +303,13 @@ func (e EngineExec) Update(tbl *engine.Table, k engine.Key, row engine.Row) erro
 func (e EngineExec) Delete(tbl *engine.Table, k engine.Key) error {
 	_, err := e.Txn.Delete(tbl, k)
 	return err
+}
+
+// ScanRange implements ScanExecer.
+func (e EngineExec) ScanRange(tbl *engine.Table, col int, lo, hi engine.Value, limit int, mode engine.PlanMode) ([]engine.Row, error) {
+	res, err := e.Txn.ScanRange(tbl, col, lo, hi, limit, mode)
+	if err != nil {
+		return nil, err
+	}
+	return res.Rows, nil
 }

@@ -28,10 +28,16 @@ func seedCorpus() []string {
 		"UPDATE customer SET C_CREDIT = C_CREDIT + -12.5 WHERE C_ID = 1",
 		"INSERT INTO orderline VALUES (DEFAULT, 1, 2.5, 'it''s', 'x')",
 		"DELETE FROM orderline WHERE OL_ID = 9",
-		// Malformed on purpose: unknown table, non-PK where, arity mismatch,
-		// unterminated string, stray symbols, empty input.
-		"SELECT * FROM nope WHERE X = 1",
+		// Secondary predicates and index DDL.
 		"SELECT O_ID FROM orders WHERE O_STATUS = 'PAID'",
+		"SELECT * FROM orders WHERE O_C_ID BETWEEN 1 AND 5",
+		"SELECT O_ID, O_TOTALAMOUNT FROM orders WHERE O_TOTALAMOUNT BETWEEN ? AND ?",
+		"SELECT * FROM orders WHERE O_ID BETWEEN -2 AND 7",
+		"CREATE INDEX ix_orders_cust ON orders (O_C_ID)",
+		"create index IX on ORDERS ( o_status ) ;",
+		// Malformed on purpose: unknown table, arity mismatch, unterminated
+		// string, stray symbols, empty input, half-written clauses.
+		"SELECT * FROM nope WHERE X = 1",
 		"INSERT INTO orders VALUES (1, 2)",
 		"SELECT * FROM orders WHERE O_ID = 'abc",
 		"UPDATE orders SET",
@@ -40,6 +46,14 @@ func seedCorpus() []string {
 		"SELECT",
 		"INSERT INTO orders VALUES (1.2.3)",
 		"DELETE FROM orders WHERE O_ID = ?;",
+		"SELECT * FROM orders WHERE O_C_ID BETWEEN 1",
+		"SELECT * FROM orders WHERE O_C_ID BETWEEN 1 OR 2",
+		"UPDATE orders SET O_STATUS = 'X' WHERE O_C_ID BETWEEN 1 AND 2",
+		"DELETE FROM orders WHERE O_C_ID = 3",
+		"CREATE INDEX ix ON orders",
+		"CREATE INDEX ON orders (O_C_ID)",
+		"CREATE TABLE t (x)",
+		"CREATE INDEX ix ON orders (O_C_ID, O_DATE)",
 	)
 	return seeds
 }

@@ -1,0 +1,128 @@
+package sqlmini
+
+import (
+	"strings"
+	"testing"
+
+	"cloudybench/internal/engine"
+	"cloudybench/internal/sim"
+)
+
+// TestCreateIndexAndRangeSelect drives the new DDL and range syntax end to
+// end: CREATE INDEX through SQL, then BETWEEN and secondary-equality
+// SELECTs whose forced index and forced full-scan executions must agree.
+func TestCreateIndexAndRangeSelect(t *testing.T) {
+	s := sim.New(epoch)
+	db := testDB(s, t)
+
+	ddl := MustPrepare(db, "CREATE INDEX ix_orders_cust ON orders (O_C_ID)")
+	res, err := ddl.Exec(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Affected == 0 {
+		t.Fatal("CREATE INDEX materialized no base rows")
+	}
+	if db.Index("ix_orders_cust") == nil {
+		t.Fatal("index not registered in the catalog")
+	}
+	if _, err := ddl.Exec(nil); err == nil {
+		t.Fatal("re-running CREATE INDEX did not report the duplicate")
+	}
+
+	between := MustPrepare(db, "SELECT O_ID, O_C_ID FROM orders WHERE O_C_ID BETWEEN ? AND ?")
+	if between.NumArgs != 2 {
+		t.Fatalf("BETWEEN placeholders: %d args", between.NumArgs)
+	}
+	eq := MustPrepare(db, "SELECT * FROM orders WHERE O_C_ID = ?")
+	if eq.NumArgs != 1 {
+		t.Fatalf("secondary equality: %d args", eq.NumArgs)
+	}
+
+	inTxn(t, db, s, func(ex Execer) {
+		between.Plan = engine.PlanForceIndex
+		a, err := between.Exec(ex, engine.Int(1), engine.Int(3))
+		if err != nil {
+			t.Fatalf("index plan: %v", err)
+		}
+		between.Plan = engine.PlanForceScan
+		b, err := between.Exec(ex, engine.Int(1), engine.Int(3))
+		if err != nil {
+			t.Fatalf("scan plan: %v", err)
+		}
+		if len(a.Rows) == 0 || len(a.Rows) != len(b.Rows) {
+			t.Fatalf("plans disagree: index %d rows, scan %d rows", len(a.Rows), len(b.Rows))
+		}
+		for i := range a.Rows {
+			if !a.Rows[i].Equal(b.Rows[i]) {
+				t.Fatalf("row %d differs between plans: %v vs %v", i, a.Rows[i], b.Rows[i])
+			}
+		}
+		if len(a.Cols) != 2 || a.Cols[1] != "O_C_ID" {
+			t.Fatalf("projection lost: %v", a.Cols)
+		}
+		one, err := eq.Exec(ex, engine.Int(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, row := range one.Rows {
+			if row[1].I != 2 {
+				t.Fatalf("equality predicate returned row with O_C_ID=%d", row[1].I)
+			}
+		}
+	})
+}
+
+// TestRangeSelectNeedsScanExecer pins the error when a range statement runs
+// against an executor without scan support.
+func TestRangeSelectNeedsScanExecer(t *testing.T) {
+	s := sim.New(epoch)
+	db := testDB(s, t)
+	st := MustPrepare(db, "SELECT * FROM orders WHERE O_C_ID BETWEEN 1 AND 2")
+	var ex pointOnlyExec
+	if _, err := st.Exec(ex); err == nil || !strings.Contains(err.Error(), "range scans") {
+		t.Fatalf("want range-scan capability error, got %v", err)
+	}
+}
+
+type pointOnlyExec struct{}
+
+func (pointOnlyExec) Get(*engine.Table, engine.Key) (engine.Row, error) { return nil, nil }
+func (pointOnlyExec) Insert(*engine.Table, engine.Row) error            { return nil }
+func (pointOnlyExec) Update(*engine.Table, engine.Key, engine.Row) error {
+	return nil
+}
+func (pointOnlyExec) Delete(*engine.Table, engine.Key) error { return nil }
+
+// TestRenderNewSyntaxCanonicalForms checks the printer's canonical output
+// for CREATE INDEX, BETWEEN, and secondary equality, and that each form is
+// a parse/render fixed point.
+func TestRenderNewSyntaxCanonicalForms(t *testing.T) {
+	s := sim.New(epoch)
+	db := testDB(s, t)
+	cases := []struct{ sql, want string }{
+		{"create index IX_ORDERS_CUST on ORDERS ( o_c_id )", "CREATE INDEX ix_orders_cust ON orders (O_C_ID)"},
+		{"select o_id from orders where o_c_id between 1 and 5", "SELECT O_ID FROM orders WHERE O_C_ID BETWEEN 1 AND 5"},
+		{"SELECT * FROM orders WHERE O_C_ID BETWEEN ? AND ?", "SELECT * FROM orders WHERE O_C_ID BETWEEN ? AND ?"},
+		{"SELECT * FROM orders WHERE O_STATUS = 'PAID'", "SELECT * FROM orders WHERE O_STATUS = 'PAID'"},
+		{"SELECT * FROM orders WHERE O_TOTALAMOUNT BETWEEN 0.5 AND 2", "SELECT * FROM orders WHERE O_TOTALAMOUNT BETWEEN 0.5 AND 2"},
+		{"SELECT * FROM orders WHERE O_ID BETWEEN ? AND 7;", "SELECT * FROM orders WHERE O_ID BETWEEN ? AND 7"},
+	}
+	for _, c := range cases {
+		st, err := Prepare(db, c.sql)
+		if err != nil {
+			t.Fatalf("prepare %q: %v", c.sql, err)
+		}
+		got := st.Render()
+		if got != c.want {
+			t.Fatalf("Render(%q) = %q, want %q", c.sql, got, c.want)
+		}
+		st2, err := Prepare(db, got)
+		if err != nil {
+			t.Fatalf("canonical form rejected: %q: %v", got, err)
+		}
+		if again := st2.Render(); again != got {
+			t.Fatalf("not a fixed point: %q vs %q", again, got)
+		}
+	}
+}

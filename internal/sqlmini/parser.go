@@ -17,6 +17,7 @@ const (
 	StmtInsert
 	StmtUpdate
 	StmtDelete
+	StmtCreateIndex
 )
 
 func (k StmtKind) String() string {
@@ -29,6 +30,8 @@ func (k StmtKind) String() string {
 		return "UPDATE"
 	case StmtDelete:
 		return "DELETE"
+	case StmtCreateIndex:
+		return "CREATE INDEX"
 	}
 	return "?"
 }
@@ -53,6 +56,7 @@ type expr struct {
 type Stmt struct {
 	Kind  StmtKind
 	SQL   string
+	db    *engine.DB
 	table *engine.Table
 
 	// SELECT
@@ -61,12 +65,28 @@ type Stmt struct {
 	// WHERE pk = <expr> (select/update/delete)
 	whereExpr *expr
 
+	// WHERE <col> = <expr> / WHERE <col> BETWEEN <lo> AND <hi>
+	// (SELECT only). whereCol is -1 for the point-access form above;
+	// equality on a non-key column stores the same *expr as both bounds.
+	whereCol int
+	whereLo  *expr
+	whereHi  *expr
+
+	// Plan selects the scan strategy for range SELECTs. Zero value
+	// (engine.PlanAuto) lets the selectivity rule decide; the differential
+	// harness forces each side.
+	Plan engine.PlanMode
+
 	// UPDATE SET
 	setCols  []int
 	setExprs []*expr
 
 	// INSERT values, one per schema column
 	insertExprs []*expr
+
+	// CREATE INDEX
+	ixName string
+	ixCol  int
 
 	// NumArgs is the number of '?' placeholders.
 	NumArgs int
@@ -92,6 +112,7 @@ func Prepare(db *engine.DB, sql string) (*Stmt, error) {
 		return nil, fmt.Errorf("sqlmini: %v in %q", err, sql)
 	}
 	st.SQL = sql
+	st.db = db
 	st.NumArgs = p.args
 	return st, nil
 }
@@ -152,8 +173,10 @@ func (p *parser) parse() (*Stmt, error) {
 		return p.parseUpdate()
 	case p.isKeyword("DELETE"):
 		return p.parseDelete()
+	case p.isKeyword("CREATE"):
+		return p.parseCreateIndex()
 	default:
-		return nil, fmt.Errorf("expected SELECT/INSERT/UPDATE/DELETE, got %s", p.peek())
+		return nil, fmt.Errorf("expected SELECT/INSERT/UPDATE/DELETE/CREATE, got %s", p.peek())
 	}
 }
 
@@ -207,32 +230,65 @@ func (p *parser) valueExpr() (*expr, error) {
 	}
 }
 
-// where parses "WHERE <pkcol> = <value>" and validates the column is the
-// single-column primary key (the subset's point-access contract).
-func (p *parser) where(tbl *engine.Table) (*expr, error) {
+// where parses the WHERE clause into st. DML statements (allowRange false)
+// keep the subset's point-access contract: "WHERE <pkcol> = <value>" only.
+// SELECT (allowRange true) additionally accepts equality on any column and
+// "WHERE <col> BETWEEN <lo> AND <hi>", which lower onto the range planner.
+func (p *parser) where(st *Stmt, allowRange bool) error {
 	if err := p.expectKeyword("WHERE"); err != nil {
-		return nil, err
+		return err
 	}
 	col, err := p.ident()
 	if err != nil {
-		return nil, err
+		return err
 	}
+	tbl := st.table
 	idx, err := p.colIndex(tbl, col)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	if len(tbl.Schema.KeyCols) != 1 || tbl.Schema.KeyCols[0] != idx {
-		return nil, fmt.Errorf("WHERE column %q is not the primary key of %s", col, tbl.Schema.Name)
+	isPK := len(tbl.Schema.KeyCols) == 1 && tbl.Schema.KeyCols[0] == idx
+	if p.isKeyword("BETWEEN") {
+		if !allowRange {
+			return fmt.Errorf("BETWEEN is only supported in SELECT")
+		}
+		p.pos++
+		lo, err := p.valueExpr()
+		if err != nil {
+			return err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return err
+		}
+		hi, err := p.valueExpr()
+		if err != nil {
+			return err
+		}
+		st.whereCol, st.whereLo, st.whereHi = idx, lo, hi
+		return nil
 	}
 	if err := p.expectSymbol("="); err != nil {
-		return nil, err
+		return err
 	}
-	return p.valueExpr()
+	e, err := p.valueExpr()
+	if err != nil {
+		return err
+	}
+	if isPK {
+		st.whereExpr = e
+		return nil
+	}
+	if !allowRange {
+		return fmt.Errorf("WHERE column %q is not the primary key of %s", col, tbl.Schema.Name)
+	}
+	// Equality on a secondary column: a degenerate range sharing one expr.
+	st.whereCol, st.whereLo, st.whereHi = idx, e, e
+	return nil
 }
 
 func (p *parser) parseSelect() (*Stmt, error) {
 	p.pos++ // SELECT
-	st := &Stmt{Kind: StmtSelect}
+	st := &Stmt{Kind: StmtSelect, whereCol: -1}
 	star := false
 	var colNames []string
 	if p.isSymbol("*") {
@@ -271,8 +327,7 @@ func (p *parser) parseSelect() (*Stmt, error) {
 			st.selectCols = append(st.selectCols, idx)
 		}
 	}
-	st.whereExpr, err = p.where(st.table)
-	if err != nil {
+	if err := p.where(st, true); err != nil {
 		return nil, err
 	}
 	return st, p.finish()
@@ -287,7 +342,7 @@ func (p *parser) parseInsert() (*Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	st := &Stmt{Kind: StmtInsert}
+	st := &Stmt{Kind: StmtInsert, whereCol: -1}
 	st.table, err = p.resolveTable(tname)
 	if err != nil {
 		return nil, err
@@ -337,7 +392,7 @@ func (p *parser) parseUpdate() (*Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	st := &Stmt{Kind: StmtUpdate}
+	st := &Stmt{Kind: StmtUpdate, whereCol: -1}
 	st.table, err = p.resolveTable(tname)
 	if err != nil {
 		return nil, err
@@ -393,8 +448,7 @@ func (p *parser) parseUpdate() (*Stmt, error) {
 		}
 		break
 	}
-	st.whereExpr, err = p.where(st.table)
-	if err != nil {
+	if err := p.where(st, false); err != nil {
 		return nil, err
 	}
 	return st, p.finish()
@@ -409,16 +463,63 @@ func (p *parser) parseDelete() (*Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	st := &Stmt{Kind: StmtDelete}
+	st := &Stmt{Kind: StmtDelete, whereCol: -1}
 	var err2 error
 	st.table, err2 = p.resolveTable(tname)
 	if err2 != nil {
 		return nil, err2
 	}
-	var err3 error
-	st.whereExpr, err3 = p.where(st.table)
-	if err3 != nil {
-		return nil, err3
+	if err := p.where(st, false); err != nil {
+		return nil, err
+	}
+	return st, p.finish()
+}
+
+// parseCreateIndex parses "CREATE INDEX <name> ON <table> (<col>)". The
+// index is created at Exec time, not at Prepare, so preparing the same DDL
+// twice is harmless.
+func (p *parser) parseCreateIndex() (*Stmt, error) {
+	p.pos++ // CREATE
+	if err := p.expectKeyword("INDEX"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	// The canonical form lowercases the index name, which is only
+	// byte-stable for ASCII identifiers; the lexer is looser (any letter).
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c != '_' && (c < 'a' || c > 'z') && (c < 'A' || c > 'Z') && (c < '0' || c > '9') {
+			return nil, fmt.Errorf("index name %q must be an ASCII identifier", name)
+		}
+	}
+	if err := p.expectKeyword("ON"); err != nil {
+		return nil, err
+	}
+	tname, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st := &Stmt{Kind: StmtCreateIndex, whereCol: -1, ixName: strings.ToLower(name)}
+	st.table, err = p.resolveTable(tname)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	col, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st.ixCol, err = p.colIndex(st.table, col)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
 	}
 	return st, p.finish()
 }

@@ -59,11 +59,34 @@ func (st *Stmt) Render() string {
 		b.WriteString("DELETE FROM ")
 		b.WriteString(st.table.Schema.Name)
 		st.renderWhere(&b)
+	case StmtCreateIndex:
+		b.WriteString("CREATE INDEX ")
+		b.WriteString(st.ixName)
+		b.WriteString(" ON ")
+		b.WriteString(st.table.Schema.Name)
+		b.WriteString(" (")
+		b.WriteString(st.table.Schema.Cols[st.ixCol].Name)
+		b.WriteString(")")
 	}
 	return b.String()
 }
 
 func (st *Stmt) renderWhere(b *strings.Builder) {
+	if st.whereLo != nil {
+		b.WriteString(" WHERE ")
+		b.WriteString(st.table.Schema.Cols[st.whereCol].Name)
+		if st.whereLo == st.whereHi {
+			// Secondary-column equality: one shared bound expr.
+			b.WriteString(" = ")
+			renderExpr(b, st.whereLo, "")
+			return
+		}
+		b.WriteString(" BETWEEN ")
+		renderExpr(b, st.whereLo, "")
+		b.WriteString(" AND ")
+		renderExpr(b, st.whereHi, "")
+		return
+	}
 	if st.whereExpr == nil {
 		return
 	}

@@ -219,7 +219,15 @@ func TestPrepareErrors(t *testing.T) {
 	}{
 		{"SELEC * FROM orders WHERE O_ID = ?", "expected SELECT"},
 		{"SELECT * FROM nope WHERE X = ?", "unknown table"},
-		{"SELECT * FROM orders WHERE O_STATUS = ?", "not the primary key"},
+		{"UPDATE orders SET O_STATUS = 'X' WHERE O_STATUS = ?", "not the primary key"},
+		{"DELETE FROM orders WHERE O_STATUS = ?", "not the primary key"},
+		{"UPDATE orders SET O_STATUS = 'X' WHERE O_ID BETWEEN ? AND ?", "only supported in SELECT"},
+		{"DELETE FROM orders WHERE O_ID BETWEEN ? AND ?", "only supported in SELECT"},
+		{"SELECT * FROM orders WHERE O_ID BETWEEN ?", "expected AND"},
+		{"CREATE INDEX ix ON nope (X)", "unknown table"},
+		{"CREATE INDEX ix ON orders (NOPE)", "unknown column"},
+		{"CREATE INDEX ix ON orders O_STATUS", `expected "("`},
+		{"CREATE TABLE t (x)", "expected INDEX"},
 		{"SELECT NOPE FROM orders WHERE O_ID = ?", "unknown column"},
 		{"INSERT INTO orders VALUES (?)", "columns"},
 		{"INSERT INTO orderline VALUES (?, DEFAULT, ?, ?, ?)", "DEFAULT only supported"},

@@ -22,6 +22,13 @@ const (
 	RecCommit
 	RecAbort
 	RecCheckpoint
+	// RecIndexPut / RecIndexDelete describe secondary-index entry changes.
+	// Table names the index's synthetic TableID and Page its index page, so
+	// fenced-write accounting and replica cache invalidation see index
+	// traffic; replicas apply them as data-layer no-ops because index state
+	// is re-derived from the heap records (see engine.Table.refreshIndexes).
+	RecIndexPut
+	RecIndexDelete
 )
 
 func (t RecType) String() string {
@@ -40,6 +47,10 @@ func (t RecType) String() string {
 		return "ABORT"
 	case RecCheckpoint:
 		return "CHECKPOINT"
+	case RecIndexPut:
+		return "IXPUT"
+	case RecIndexDelete:
+		return "IXDEL"
 	default:
 		return fmt.Sprintf("RecType(%d)", uint8(t))
 	}
