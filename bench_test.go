@@ -120,6 +120,19 @@ func BenchmarkTraceOn(b *testing.B) {
 	benchOLTPCell(b, obs.NewTracer("cdb1", &obs.CountSink{}))
 }
 
+// BenchmarkTraceTimeline measures the same cell with the tracer feeding a
+// Timeline sink (1s windows) — the soak runner's recording path. The delta
+// over BenchmarkTraceOn is the pure cost of windowed histogram
+// aggregation; baseline in BENCH_trace.json.
+func BenchmarkTraceTimeline(b *testing.B) {
+	benchOLTPCell(b, obs.NewTracer("cdb1", obs.NewTimeline("cdb1", time.Second)))
+}
+
+// BenchmarkSoak regenerates the soak comparison artifact (windowed
+// telemetry, rolling chaos, in-flight sweeps, CSV/Markdown render) at the
+// bench scale.
+func BenchmarkSoak(b *testing.B) { runExperiment(b, "soak") }
+
 // BenchmarkTracerRecord microbenchmarks the span hot path itself: nil
 // tracer (the off switch — must not allocate) vs an attached tracer with an
 // open transaction trace.

@@ -39,6 +39,8 @@ func run(args []string) error {
 		return list()
 	case "run":
 		return runExperiments(args[1:])
+	case "soak":
+		return runSoak(args[1:])
 	case "custom":
 		return runCustom(args[1:])
 	case "help", "-h", "--help":
@@ -55,6 +57,8 @@ func usage() {
 Commands:
   list                     show all experiments
   run <id>... [flags]      run experiments (or "run all")
+  soak [flags]             multi-day longitudinal soak on every SUT; writes
+                           the soak.csv + soak.md comparison artifact
   custom -props FILE       run a user-defined elasticity pattern from a props file
 
 Flags for run:
@@ -62,9 +66,17 @@ Flags for run:
   -o FILE                  also write the report to FILE
   -trace DIR               write JSONL spans + Prometheus snapshot to DIR
                            (trace-aware experiments, e.g. "oltp")
+  -artifacts DIR           write CSV/Markdown artifact files to DIR
+                           (artifact-emitting experiments, e.g. "soak")
   -parallel N              fan experiment cells out over N cores
                            (default 0 = all cores; 1 = sequential;
                            the report is byte-identical either way)
+
+Flags for soak:
+  -scale quick|paper|bench soak scale (default quick: 3 virtual days, 2h windows)
+  -o DIR                   artifact directory for soak.csv and soak.md
+                           (default soak-artifacts)
+  -parallel N              as for run
 
 Experiment ids correspond to the paper's tables and figures.`)
 }
@@ -90,6 +102,36 @@ func runCustom(args []string) error {
 	return nil
 }
 
+// runSoak is the one-command comparison artifact: it drives the multi-day
+// soak on every SUT and drops soak.csv + soak.md into the artifact
+// directory, printing the Markdown document to stdout.
+func runSoak(args []string) error {
+	fs := flag.NewFlagSet("soak", flag.ContinueOnError)
+	scaleName := fs.String("scale", "quick", "soak scale: quick, paper, or bench")
+	outDir := fs.String("o", "soak-artifacts", "directory for soak.csv and soak.md")
+	parallel := fs.Int("parallel", 0, "SUT cells run on this many cores (0 = all cores, 1 = sequential); the artifact is byte-identical either way")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sc, ok := experiments.ScaleByName(*scaleName)
+	if !ok {
+		return fmt.Errorf("unknown scale %q (quick, paper, or bench)", *scaleName)
+	}
+	sc.ArtifactDir = *outDir
+	experiments.SetParallelism(*parallel)
+
+	fmt.Fprintf(os.Stderr, "== soaking %d virtual days per SUT (%v windows) at scale %s...\n",
+		sc.SoakDays, sc.SoakWindow, sc.Name)
+	start := time.Now()
+	out, err := experiments.Run("soak", sc)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "== soak done in %s\n", time.Since(start).Round(time.Millisecond))
+	fmt.Print(out)
+	return nil
+}
+
 func list() error {
 	fmt.Println("Experiments:")
 	for _, id := range experiments.IDs() {
@@ -104,6 +146,7 @@ func runExperiments(args []string) error {
 	scaleName := fs.String("scale", "quick", "experiment scale: quick, paper, or bench")
 	outFile := fs.String("o", "", "also write the report to this file")
 	traceDir := fs.String("trace", "", "write JSONL trace spans and a Prometheus metrics snapshot to this directory (trace-aware experiments)")
+	artifactDir := fs.String("artifacts", "", "write CSV/Markdown artifact files to this directory (artifact-emitting experiments, e.g. soak)")
 	parallel := fs.Int("parallel", 0, "experiment cells run on this many cores (0 = all cores, 1 = sequential); output is identical either way")
 
 	// Accept ids before flags: split args into ids and flag-ish tail.
@@ -127,6 +170,7 @@ func runExperiments(args []string) error {
 		return fmt.Errorf("unknown scale %q (quick, paper, or bench)", *scaleName)
 	}
 	sc.TraceDir = *traceDir
+	sc.ArtifactDir = *artifactDir
 	experiments.SetParallelism(*parallel)
 
 	var out strings.Builder

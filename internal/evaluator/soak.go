@@ -1,0 +1,344 @@
+package evaluator
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"cloudybench/internal/cdb"
+	"cloudybench/internal/chaos"
+	"cloudybench/internal/check"
+	"cloudybench/internal/core"
+	"cloudybench/internal/engine"
+	"cloudybench/internal/obs"
+	"cloudybench/internal/sim"
+)
+
+// SoakConfig parameterizes one SUT's soak run: days of virtual time under
+// a duty-cycled workload (one traffic burst per timeline window, idle clock
+// leap between), a rolling per-day chaos schedule, tenant churn reshaping
+// the client population window over window, and periodic in-flight
+// invariant sweeps stamped into the timeline.
+type SoakConfig struct {
+	Kind cdb.Kind
+	SF   int
+	// Days is the virtual run length in days (default 3).
+	Days int
+	// Window is the timeline window width; it must divide 24h into at
+	// least four windows per day so the rolling chaos schedule has distinct
+	// windows to land in (default 2h).
+	Window time.Duration
+	// Burst is the traffic window at the start of each timeline window.
+	// Keep it well under Window/4: the blackout partition must heal and the
+	// retry queue drain before the next window's burst (default 1s).
+	Burst time.Duration
+	// Concurrency is the per-tenant client count; the tenant-churn pattern
+	// multiplies it window over window (default 4).
+	Concurrency int
+	// SweepEvery runs an invariant sweep after every Nth window's burst
+	// (default 3).
+	SweepEvery int
+	Seed       int64
+}
+
+func (c SoakConfig) withDefaults() SoakConfig {
+	if c.SF < 1 {
+		c.SF = 1
+	}
+	if c.Days <= 0 {
+		c.Days = 3
+	}
+	if c.Window <= 0 {
+		c.Window = 2 * time.Hour
+	}
+	if c.Burst <= 0 {
+		c.Burst = time.Second
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 4
+	}
+	if c.SweepEvery <= 0 {
+		c.SweepEvery = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return c
+}
+
+// tenantPattern is the tenant-churn cycle: how many tenants are active in
+// window w (each contributing Concurrency clients). Adjacent windows change
+// by at most one tenant so churn itself never trips the window-over-window
+// anomaly detectors — only faults should.
+var tenantPattern = [4]int{2, 3, 3, 2}
+
+// Tenants returns the active tenant count for window w.
+func (c SoakConfig) Tenants(w int) int { return tenantPattern[w%len(tenantPattern)] }
+
+// SoakSchedule compiles the rolling chaos schedule for a soak run: every
+// virtual day repeats a disk stall clipping one burst (a p99 spike), a
+// degraded fabric window, a replica crash mid-burst (replication catch-up),
+// and a full client blackout window (the seeded unavailability anomaly);
+// from day two onward the day opens with an eviction storm. All faults
+// auto-heal, so each day starts from a healthy cluster.
+func SoakSchedule(days int, window, burst time.Duration) chaos.Schedule {
+	wpd := int(24 * time.Hour / window)
+	var sched chaos.Schedule
+	for d := 0; d < days; d++ {
+		dayStart := time.Duration(d) * 24 * time.Hour
+		at := func(w int) time.Duration { return dayStart + time.Duration(w)*window }
+		sched.Events = append(sched.Events,
+			// Window 1: the device hangs for the first quarter of the burst;
+			// blocked transactions commit late, inflating the window's p99
+			// without collapsing its throughput.
+			chaos.Event{At: at(1), Kind: chaos.DiskStall, Target: "rw", Duration: burst / 4},
+			// Mid-day: congested fabric for a full burst, plus a replica
+			// crash a third of the way in — replication buffers its backlog
+			// over the degraded links and catches up.
+			chaos.Event{At: at(wpd / 2), Kind: chaos.LinkDegrade, Duration: burst,
+				ExtraLatency: 2 * time.Millisecond, BWFactor: 0.5},
+			chaos.Event{At: at(wpd/2) + burst/3, Kind: chaos.ReplicaCrash, Target: "ro0"},
+			// Last window of the day: clients are cut from every node for the
+			// whole burst and the retry drain — zero commits against real
+			// attempts, the seeded unavailability anomaly.
+			chaos.Event{At: at(wpd - 1), Kind: chaos.Partition, Duration: burst + 2*time.Second,
+				GroupA: []string{"client"}, GroupB: []string{"rw", "ro0"}},
+		)
+		if d >= 1 {
+			sched.Events = append(sched.Events,
+				chaos.Event{At: at(0), Kind: chaos.CacheDrop, Target: "rw"})
+		}
+	}
+	return sched
+}
+
+// SoakSweep is one in-flight invariant sweep: the virtual time it ran, the
+// window it landed in, and its verdicts (Conservation and ReadCommitted
+// over the segment since the previous sweep, IndexCoherent on the live
+// primary, NoSplitBrain over the fence log so far).
+type SoakSweep struct {
+	At       time.Duration
+	Window   int
+	Verdicts []check.Verdict
+}
+
+// Passed reports whether every swept invariant held.
+func (s SoakSweep) Passed() bool { return check.AllPassed(s.Verdicts) }
+
+// SoakWindow is one window's summary row plus its resource-unit cost.
+type SoakWindow struct {
+	obs.WindowRow
+	// Cost is the RUC cost of the window; CostPer1kTxn relates it to the
+	// window's commits (zero for a window that committed nothing — cost
+	// without throughput shows up in the unavailability row itself).
+	Cost         float64
+	CostPer1kTxn float64
+}
+
+// SoakResult is one SUT's longitudinal report card.
+type SoakResult struct {
+	Kind   cdb.Kind
+	Days   int
+	Window time.Duration
+
+	// Timeline is the windowed telemetry (also carrying sweep/chaos/anomaly
+	// marks); Agg is the tracer's whole-run stage aggregation.
+	Timeline *obs.Timeline
+	Agg      *obs.StageAgg
+
+	Windows   []SoakWindow
+	Sweeps    []SoakSweep
+	Anomalies []obs.Anomaly
+
+	Commits   int64
+	Errors    int64
+	Terminals int64
+
+	// Verdicts are the end-of-run checks: the fence trio, index coherence
+	// on every node, and convergence of every replica after quiesce.
+	Verdicts  []check.Verdict
+	Applied   []chaos.Applied
+	TotalCost float64
+}
+
+// Passed reports whether every sweep and every final invariant held.
+func (r SoakResult) Passed() bool {
+	for _, s := range r.Sweeps {
+		if !s.Passed() {
+			return false
+		}
+	}
+	return check.AllPassed(r.Verdicts)
+}
+
+// RunSoak drives one SUT through a multi-day soak: duty-cycled traffic
+// bursts (one per timeline window, tenant churn reshaping the client count),
+// the rolling SoakSchedule chaos, in-flight invariant sweeps every
+// SweepEvery windows, and a final quiesce + convergence judgement.
+// Deterministic: the same config yields byte-identical timelines, sweeps,
+// and anomalies at any GOMAXPROCS.
+func RunSoak(cfg SoakConfig) SoakResult {
+	cfg = cfg.withDefaults()
+	if 24*time.Hour%cfg.Window != 0 {
+		panic(fmt.Sprintf("evaluator: soak window %v must divide 24h", cfg.Window))
+	}
+	wpd := int(24 * time.Hour / cfg.Window)
+	if wpd < 4 {
+		panic(fmt.Sprintf("evaluator: soak window %v leaves %d windows/day, need >= 4", cfg.Window, wpd))
+	}
+	totalWindows := cfg.Days * wpd
+
+	s := sim.New(simEpoch)
+	tl := obs.NewTimeline(string(cfg.Kind), cfg.Window)
+	tr := obs.NewTracer(string(cfg.Kind), tl)
+	d := cdb.MustDeploy(s, cdb.ProfileFor(cfg.Kind), cdb.Options{
+		SF: cfg.SF, Seed: cfg.Seed, Replicas: 1, PreWarm: true,
+		Serverless: cdb.Bool(false),
+		Tracer:     tr,
+		// A secondary index on the order status column: T2 payments rewrite
+		// O_STATUS, so index maintenance runs for days and the in-flight
+		// IndexCoherent sweeps judge a moving target, not an empty catalog.
+		ExtraSchema: func(db *engine.DB) error {
+			_, err := db.CreateIndex(core.TableOrders, "ix_orders_status", "O_STATUS")
+			return err
+		},
+	})
+	d.Fence.SetRecording(true)
+
+	sched := SoakSchedule(cfg.Days, cfg.Window, cfg.Burst)
+	inj, err := chaos.NewInjector(s, sched, chaos.Targets{
+		Cluster: d.Cluster,
+		Links:   d.Links(),
+		Net:     d.Net,
+		Seed:    cfg.Seed,
+	})
+	if err != nil {
+		panic("evaluator: soak schedule: " + err.Error())
+	}
+	inj.Start()
+
+	res := SoakResult{Kind: cfg.Kind, Days: cfg.Days, Window: cfg.Window, Timeline: tl, Agg: tr.Agg()}
+
+	// The in-flight sweep judges Conservation/ReadCommitted over the
+	// segment recorded since the previous sweep: a fresh recorder replaces
+	// the observer while traffic is fully quiesced, so every segment holds
+	// only whole transactions.
+	rec := check.NewRecorder()
+	d.RW().DB.SetObserver(rec)
+	sweep := func(p *sim.Proc, w int) {
+		verdicts := []check.Verdict{
+			check.Conservation(rec),
+			check.ReadCommitted(rec),
+			check.IndexCoherent("rw", d.RW().DB),
+			check.NoSplitBrain(d.Fence.Events()),
+		}
+		sw := SoakSweep{At: p.Elapsed(), Window: w, Verdicts: verdicts}
+		var names []string
+		for _, v := range verdicts {
+			status := "PASS"
+			if !v.Passed {
+				status = "FAIL"
+			}
+			names = append(names, v.Name+"="+status)
+		}
+		tl.Mark(sw.At, "sweep", strings.Join(names, " "), sw.Passed())
+		res.Sweeps = append(res.Sweeps, sw)
+		rec = check.NewRecorder()
+		d.RW().DB.SetObserver(rec)
+	}
+
+	s.Go("ctl", func(p *sim.Proc) {
+		for w := 0; w < totalWindows; w++ {
+			// Burst: a fresh runner per window (its own deterministic RNG
+			// streams, named by window) at the churned tenant population.
+			// The short retry budget keeps blackout-window stragglers from
+			// draining past the healed partition.
+			col := core.NewCollector()
+			r := core.NewRunner(s, core.Config{
+				Name: fmt.Sprintf("soak/w%03d", w), Seed: cfg.Seed,
+				Mix:            core.Mix{T1: 30, T2: 20, T3: 40, T4: 10},
+				Write:          d.RW,
+				Read:           d.ReadNode,
+				ReadCandidates: d.ReadCandidates,
+				Reachable:      d.ClientReachable,
+				Collector:      col,
+				Tracer:         tr,
+				Retry: core.RetryPolicy{
+					MaxAttempts: 4, BackoffBase: 50 * time.Millisecond,
+					BackoffCap: 400 * time.Millisecond,
+				},
+			})
+			r.SetConcurrency(cfg.Concurrency * cfg.Tenants(w))
+			p.Sleep(cfg.Burst)
+			r.Stop()
+			r.Wait(p)
+			res.Commits += col.Commits()
+			res.Errors += col.Errors()
+			res.Terminals += col.Terminals()
+			// col goes out of scope here: per-window collectors are
+			// throwaways, so live memory stays O(windows) — the timeline —
+			// no matter how long the run is.
+
+			if (w+1)%cfg.SweepEvery == 0 {
+				sweep(p, w)
+			}
+			if next := time.Duration(w+1) * cfg.Window; p.Elapsed() < next {
+				p.Sleep(next - p.Elapsed())
+			}
+		}
+
+		// Quiesce replication (the crashed-and-restarted replica drains its
+		// backlog), then judge the end-of-run invariants.
+		for _, st := range d.Streams() {
+			for {
+				shipped, applied := st.Counts()
+				if st.Backlog() == 0 && shipped == applied {
+					break
+				}
+				p.Sleep(10 * time.Millisecond)
+			}
+		}
+		res.Verdicts = append(res.Verdicts, check.FenceVerdicts(d.Fence)...)
+		rwDB := d.RW().DB
+		for _, m := range d.Cluster.Members() {
+			name := m.Node.Name
+			if i := strings.LastIndexByte(name, '/'); i >= 0 {
+				name = name[i+1:]
+			}
+			res.Verdicts = append(res.Verdicts, check.IndexCoherent(name, m.Node.DB))
+			if m.Node != d.RW() {
+				res.Verdicts = append(res.Verdicts, check.Convergence(name, rwDB, m.Node.DB))
+			}
+		}
+		d.Shutdown()
+	})
+	if err := s.Run(); err != nil {
+		panic("evaluator: soak run: " + err.Error())
+	}
+
+	// Stamp the applied chaos onto the timeline, run the anomaly pass, and
+	// price each window.
+	res.Applied = inj.Applied()
+	for _, a := range res.Applied {
+		detail := string(a.Kind)
+		if a.Target != "" {
+			detail += " " + a.Target
+		}
+		tl.Mark(a.At, "chaos", detail, true)
+	}
+	res.Anomalies = tl.Anomalies(obs.AnomalyConfig{})
+	for _, a := range res.Anomalies {
+		tl.Mark(a.At, "anomaly", a.Kind+": "+a.Detail, false)
+	}
+	for w := 0; w < totalWindows; w++ {
+		row := tl.Row(w)
+		cost := d.RUCCost(row.Start, row.End)
+		sw := SoakWindow{WindowRow: row, Cost: cost}
+		if row.Commits > 0 {
+			sw.CostPer1kTxn = cost / float64(row.Commits) * 1000
+		}
+		res.Windows = append(res.Windows, sw)
+		res.TotalCost += cost
+	}
+	return res
+}

@@ -11,50 +11,60 @@ import (
 
 // tiny is an ultra-small scale for unit tests.
 var tiny = Scale{
-	Name:         "tiny",
-	Warmup:       500 * time.Millisecond,
-	Measure:      time.Second,
-	Concurrency:  []int{16},
-	SFs:          []int{1},
-	SlotLength:   2 * time.Second,
-	CostSlots:    4,
-	Tau:          24,
-	FailBaseline: 6 * time.Second,
-	FailTimeout:  60 * time.Second,
-	FailConc:     24,
-	LagDuration:  2 * time.Second,
-	LagConc:      4,
-	PartSpan:     8 * time.Second,
-	PartConc:     4,
-	SuiteSpan:    3 * time.Second,
-	SuiteConc:    4,
-	Seed:         42,
+	Name:           "tiny",
+	Warmup:         500 * time.Millisecond,
+	Measure:        time.Second,
+	Concurrency:    []int{16},
+	SFs:            []int{1},
+	SlotLength:     2 * time.Second,
+	CostSlots:      4,
+	Tau:            24,
+	FailBaseline:   6 * time.Second,
+	FailTimeout:    60 * time.Second,
+	FailConc:       24,
+	LagDuration:    2 * time.Second,
+	LagConc:        4,
+	PartSpan:       8 * time.Second,
+	PartConc:       4,
+	SuiteSpan:      3 * time.Second,
+	SuiteConc:      4,
+	SoakDays:       3,
+	SoakWindow:     6 * time.Hour,
+	SoakBurst:      200 * time.Millisecond,
+	SoakConc:       1,
+	SoakSweepEvery: 2,
+	Seed:           42,
 }
 
 // mini shrinks every window to the determinism-test minimum: big enough to
 // exercise queueing, autoscaling transitions, and replication, small enough
 // to re-run the same experiment several times in one test.
 var mini = Scale{
-	Name:         "mini",
-	Warmup:       200 * time.Millisecond,
-	Measure:      600 * time.Millisecond,
-	Concurrency:  []int{8},
-	SFs:          []int{1},
-	SlotLength:   time.Second,
-	CostSlots:    3,
-	Tau:          12,
-	FailBaseline: 2 * time.Second,
-	FailTimeout:  20 * time.Second,
-	FailConc:     8,
-	LagDuration:  time.Second,
-	LagConc:      3,
-	ChaosSpan:    3 * time.Second,
-	ChaosConc:    3,
-	PartSpan:     4 * time.Second,
-	PartConc:     3,
-	SuiteSpan:    1500 * time.Millisecond,
-	SuiteConc:    3,
-	Seed:         42,
+	Name:           "mini",
+	Warmup:         200 * time.Millisecond,
+	Measure:        600 * time.Millisecond,
+	Concurrency:    []int{8},
+	SFs:            []int{1},
+	SlotLength:     time.Second,
+	CostSlots:      3,
+	Tau:            12,
+	FailBaseline:   2 * time.Second,
+	FailTimeout:    20 * time.Second,
+	FailConc:       8,
+	LagDuration:    time.Second,
+	LagConc:        3,
+	ChaosSpan:      3 * time.Second,
+	ChaosConc:      3,
+	PartSpan:       4 * time.Second,
+	PartConc:       3,
+	SuiteSpan:      1500 * time.Millisecond,
+	SuiteConc:      3,
+	SoakDays:       3,
+	SoakWindow:     6 * time.Hour,
+	SoakBurst:      300 * time.Millisecond,
+	SoakConc:       1,
+	SoakSweepEvery: 2,
+	Seed:           42,
 }
 
 // TestParallelCellsAreByteIdentical is the parallel cell runner's
@@ -71,7 +81,7 @@ func TestParallelCellsAreByteIdentical(t *testing.T) {
 		}
 		return out
 	}
-	for _, id := range []string{"f5", "f6", "lag", "partition", "suites"} {
+	for _, id := range []string{"f5", "f6", "lag", "partition", "soak", "suites"} {
 		SetParallelism(1)
 		seq := run(id)
 		SetParallelism(4)
@@ -89,7 +99,7 @@ func TestParallelCellsAreByteIdentical(t *testing.T) {
 }
 
 func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
-	want := []string{"ablations", "chaos", "f5", "f6", "f7", "f8", "f9", "lag", "oltp", "partition", "suites", "t5", "t6", "t7", "t8", "t9"}
+	want := []string{"ablations", "chaos", "f5", "f6", "f7", "f8", "f9", "lag", "oltp", "partition", "soak", "suites", "t5", "t6", "t7", "t8", "t9"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("ids = %v", got)

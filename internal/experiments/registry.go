@@ -45,6 +45,8 @@ var registry = map[string]struct {
 		func(sc Scale) string { out, _ := Partition(sc); return out }},
 	"suites": {"Scenario suites — registered workload families (indexed range scan, time-series, LOB) on every SUT, with selectivity sweep and chaos/partition composition",
 		func(sc Scale) string { out, _ := Suites(sc); return out }},
+	"soak": {"Soak — multi-day longitudinal run per SUT with windowed telemetry, rolling chaos, tenant churn, in-flight invariant sweeps, and the CSV/Markdown comparison artifact (honours --artifacts)",
+		func(sc Scale) string { out, _ := Soak(sc); return out }},
 }
 
 // IDs returns all experiment ids in sorted order.

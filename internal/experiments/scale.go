@@ -56,6 +56,21 @@ type Scale struct {
 	SuiteSpan time.Duration
 	SuiteConc int
 
+	// Soak (cloudybench soak) — days of virtual time per SUT, the timeline
+	// window width (must divide 24h into >= 4 windows), the traffic burst
+	// per window, the per-tenant client count, and how many windows pass
+	// between in-flight invariant sweeps.
+	SoakDays       int
+	SoakWindow     time.Duration
+	SoakBurst      time.Duration
+	SoakConc       int
+	SoakSweepEvery int
+
+	// ArtifactDir, when non-empty, makes artifact-emitting experiments
+	// (the "soak" comparison bundle) write their CSV/Markdown files into
+	// the directory (created if missing). Empty keeps output on stdout.
+	ArtifactDir string
+
 	// TraceDir, when non-empty, makes trace-aware experiments (the "oltp"
 	// stage-profile run) write JSONL span files and a Prometheus-text
 	// metrics snapshot into the directory (created if missing). Empty
@@ -68,51 +83,61 @@ type Scale struct {
 // Quick is the default scale: seconds-long windows, single scale factor,
 // reduced sweep. The full suite completes in a few minutes.
 var Quick = Scale{
-	Name:         "quick",
-	Warmup:       time.Second,
-	Measure:      3 * time.Second,
-	Concurrency:  []int{50, 150},
-	SFs:          []int{1},
-	SlotLength:   5 * time.Second,
-	CostSlots:    10,
-	Tau:          110,
-	FailBaseline: 6 * time.Second,
-	FailTimeout:  60 * time.Second,
-	FailConc:     60,
-	LagDuration:  4 * time.Second,
-	LagConc:      8,
-	ChaosSpan:    8 * time.Second,
-	ChaosConc:    8,
-	PartSpan:     18 * time.Second,
-	PartConc:     12,
-	SuiteSpan:    6 * time.Second,
-	SuiteConc:    8,
-	Seed:         42,
+	Name:           "quick",
+	Warmup:         time.Second,
+	Measure:        3 * time.Second,
+	Concurrency:    []int{50, 150},
+	SFs:            []int{1},
+	SlotLength:     5 * time.Second,
+	CostSlots:      10,
+	Tau:            110,
+	FailBaseline:   6 * time.Second,
+	FailTimeout:    60 * time.Second,
+	FailConc:       60,
+	LagDuration:    4 * time.Second,
+	LagConc:        8,
+	ChaosSpan:      8 * time.Second,
+	ChaosConc:      8,
+	PartSpan:       18 * time.Second,
+	PartConc:       12,
+	SuiteSpan:      6 * time.Second,
+	SuiteConc:      8,
+	SoakDays:       3,
+	SoakWindow:     2 * time.Hour,
+	SoakBurst:      time.Second,
+	SoakConc:       4,
+	SoakSweepEvery: 3,
+	Seed:           42,
 }
 
 // Paper approximates the paper's setup: one-minute slots, the full
 // concurrency sweep, and all three scale factors. Expect tens of minutes.
 var Paper = Scale{
-	Name:         "paper",
-	Warmup:       5 * time.Second,
-	Measure:      20 * time.Second,
-	Concurrency:  []int{50, 100, 150, 200},
-	SFs:          []int{1, 10, 100},
-	SlotLength:   time.Minute,
-	CostSlots:    10,
-	Tau:          110,
-	FailBaseline: 10 * time.Second,
-	FailTimeout:  120 * time.Second,
-	FailConc:     150,
-	LagDuration:  15 * time.Second,
-	LagConc:      16,
-	ChaosSpan:    30 * time.Second,
-	ChaosConc:    32,
-	PartSpan:     40 * time.Second,
-	PartConc:     32,
-	SuiteSpan:    20 * time.Second,
-	SuiteConc:    16,
-	Seed:         42,
+	Name:           "paper",
+	Warmup:         5 * time.Second,
+	Measure:        20 * time.Second,
+	Concurrency:    []int{50, 100, 150, 200},
+	SFs:            []int{1, 10, 100},
+	SlotLength:     time.Minute,
+	CostSlots:      10,
+	Tau:            110,
+	FailBaseline:   10 * time.Second,
+	FailTimeout:    120 * time.Second,
+	FailConc:       150,
+	LagDuration:    15 * time.Second,
+	LagConc:        16,
+	ChaosSpan:      30 * time.Second,
+	ChaosConc:      32,
+	PartSpan:       40 * time.Second,
+	PartConc:       32,
+	SuiteSpan:      20 * time.Second,
+	SuiteConc:      16,
+	SoakDays:       7,
+	SoakWindow:     time.Hour,
+	SoakBurst:      2 * time.Second,
+	SoakConc:       8,
+	SoakSweepEvery: 4,
+	Seed:           42,
 }
 
 // Bench compresses the experiment windows further than Quick so the whole
@@ -120,26 +145,31 @@ var Paper = Scale{
 // regeneration benchmarks (bench_test.go) and by kernel wall-clock
 // measurements (BENCH_sim.json).
 var Bench = Scale{
-	Name:         "bench",
-	Warmup:       500 * time.Millisecond,
-	Measure:      1500 * time.Millisecond,
-	Concurrency:  []int{100},
-	SFs:          []int{1},
-	SlotLength:   3 * time.Second,
-	CostSlots:    6,
-	Tau:          110,
-	FailBaseline: 6 * time.Second,
-	FailTimeout:  45 * time.Second,
-	FailConc:     30,
-	LagDuration:  2500 * time.Millisecond,
-	LagConc:      6,
-	ChaosSpan:    6 * time.Second,
-	ChaosConc:    6,
-	PartSpan:     12 * time.Second,
-	PartConc:     6,
-	SuiteSpan:    3 * time.Second,
-	SuiteConc:    4,
-	Seed:         42,
+	Name:           "bench",
+	Warmup:         500 * time.Millisecond,
+	Measure:        1500 * time.Millisecond,
+	Concurrency:    []int{100},
+	SFs:            []int{1},
+	SlotLength:     3 * time.Second,
+	CostSlots:      6,
+	Tau:            110,
+	FailBaseline:   6 * time.Second,
+	FailTimeout:    45 * time.Second,
+	FailConc:       30,
+	LagDuration:    2500 * time.Millisecond,
+	LagConc:        6,
+	ChaosSpan:      6 * time.Second,
+	ChaosConc:      6,
+	PartSpan:       12 * time.Second,
+	PartConc:       6,
+	SuiteSpan:      3 * time.Second,
+	SuiteConc:      4,
+	SoakDays:       3,
+	SoakWindow:     6 * time.Hour,
+	SoakBurst:      600 * time.Millisecond,
+	SoakConc:       2,
+	SoakSweepEvery: 2,
+	Seed:           42,
 }
 
 // ScaleByName resolves "quick", "paper", or "bench".

@@ -94,6 +94,39 @@ func (a *StageAgg) Merge(o *StageAgg) {
 	}
 }
 
+// Equal reports whether two aggregations hold identical state: the same
+// (txn, kind) span histograms bucket-for-bucket and the same end-to-end
+// transaction histograms and outcome counts. SUT labels are not compared —
+// equality is about the recorded data, not the name on the folder.
+func (a *StageAgg) Equal(o *StageAgg) bool {
+	if a == nil || o == nil {
+		return a == nil && o == nil
+	}
+	if len(a.spans) != len(o.spans) || len(a.txns) != len(o.txns) {
+		return false
+	}
+	for k, h := range a.spans {
+		if !h.Equal(o.spans[k]) {
+			return false
+		}
+	}
+	for txn, t := range a.txns {
+		ot := o.txns[txn]
+		if ot == nil || !t.hist.Equal(&ot.hist) {
+			return false
+		}
+		if len(t.outcomes) != len(ot.outcomes) {
+			return false
+		}
+		for oc, n := range t.outcomes {
+			if ot.outcomes[oc] != n {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // StageRow is one rendered line of the stage breakdown: how much of a
 // transaction type's virtual time one span kind consumed.
 type StageRow struct {

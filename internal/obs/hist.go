@@ -71,6 +71,29 @@ func (h *Histogram) Add(d time.Duration) {
 // Count returns the number of recorded samples.
 func (h *Histogram) Count() int64 { return h.n }
 
+// Min returns the smallest recorded duration (zero with no samples).
+func (h *Histogram) Min() time.Duration { return h.min }
+
+// Max returns the largest recorded duration (zero with no samples).
+func (h *Histogram) Max() time.Duration { return h.max }
+
+// Equal reports whether two histograms hold identical state
+// bucket-for-bucket, including count, sum, min, and max — the equality the
+// merge-vs-whole-run property tests assert. A nil histogram equals an empty
+// one.
+func (h *Histogram) Equal(o *Histogram) bool {
+	if h == nil {
+		h = &Histogram{}
+	}
+	if o == nil {
+		o = &Histogram{}
+	}
+	if h.n != o.n || h.sum != o.sum || h.min != o.min || h.max != o.max {
+		return false
+	}
+	return h.counts == o.counts
+}
+
 // Sum returns the total recorded duration.
 func (h *Histogram) Sum() time.Duration { return h.sum }
 

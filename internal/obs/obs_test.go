@@ -91,6 +91,79 @@ func TestHistogramMergeEqualsCombined(t *testing.T) {
 	}
 }
 
+func TestHistogramMergeEdgeCases(t *testing.T) {
+	// Merging a zero-value histogram into a populated one must not clobber
+	// min: the empty histogram's min field is 0, which is NOT a sample.
+	var a Histogram
+	a.Add(ms(10))
+	a.Add(ms(20))
+	var empty Histogram
+	a.Merge(&empty)
+	if a.Min() != ms(10) || a.Max() != ms(20) || a.Count() != 2 {
+		t.Fatalf("merge(empty) clobbered state: min=%v max=%v n=%d", a.Min(), a.Max(), a.Count())
+	}
+	a.Merge(nil)
+	if a.Min() != ms(10) || a.Count() != 2 {
+		t.Fatalf("merge(nil) clobbered state: min=%v n=%d", a.Min(), a.Count())
+	}
+
+	// Merging INTO a zero-value histogram must adopt the source's min/max
+	// exactly — including a genuine zero-duration minimum.
+	var b Histogram
+	var src Histogram
+	src.Add(0)
+	src.Add(ms(5))
+	b.Merge(&src)
+	if b.Min() != 0 || b.Max() != ms(5) || b.Count() != 2 {
+		t.Fatalf("merge into empty: min=%v max=%v n=%d", b.Min(), b.Max(), b.Count())
+	}
+	// And a source whose min is above the destination's must not lower it...
+	var c Histogram
+	c.Add(ms(1))
+	var hi Histogram
+	hi.Add(ms(100))
+	c.Merge(&hi)
+	if c.Min() != ms(1) || c.Max() != ms(100) {
+		t.Fatalf("asymmetric merge: min=%v max=%v", c.Min(), c.Max())
+	}
+	// ...while a lower source min must win.
+	hi.Merge(&c)
+	if hi.Min() != ms(1) || hi.Max() != ms(100) {
+		t.Fatalf("reverse merge: min=%v max=%v", hi.Min(), hi.Max())
+	}
+	// Equality is bucket-for-bucket: c and hi now differ (hi absorbed all
+	// of c), but a histogram always equals a fresh replay of its samples.
+	var replay Histogram
+	replay.Add(ms(100))
+	replay.Add(ms(1))
+	replay.Add(ms(100))
+	if !hi.Equal(&replay) {
+		t.Fatal("hi should equal its sample-replay twin")
+	}
+	if hi.Equal(&c) {
+		t.Fatal("hi and c differ and must not compare equal")
+	}
+}
+
+func TestHistogramQuantileOnEmptyContract(t *testing.T) {
+	// The explicit contract: every quantile of an empty histogram is zero —
+	// including the clamped p0/p100 paths and out-of-range q. Callers render
+	// "0" for dead windows rather than panicking or inventing a sentinel.
+	var h Histogram
+	for _, q := range []float64{-1, 0, 0.5, 0.99, 1, 2} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	if h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 || h.Sum() != 0 {
+		t.Fatal("empty histogram accessors must all be zero")
+	}
+	var nilH *Histogram
+	if !nilH.Equal(&h) || !h.Equal(nil) {
+		t.Fatal("nil and empty histograms must compare equal")
+	}
+}
+
 func TestTracerTxnLifecycle(t *testing.T) {
 	var sink CountSink
 	tr := NewTracer("rds", &sink)

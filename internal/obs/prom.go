@@ -5,7 +5,17 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"strings"
 )
+
+// escapeLabel escapes a label value per the Prometheus text exposition
+// format (version 0.0.4): backslash, double quote, and line feed become
+// \\, \", and \n — and nothing else. Go's %q is NOT this format: it also
+// escapes tabs, control characters, and non-ASCII runes into Go syntax the
+// Prometheus parser would read as a literal backslash followed by letters.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabel(v string) string { return labelEscaper.Replace(v) }
 
 // WritePrometheus renders the given aggregations as a Prometheus
 // text-format (version 0.0.4) snapshot: span-duration summaries per
@@ -33,7 +43,8 @@ func WritePrometheus(w io.Writer, aggs ...*StageAgg) error {
 			continue
 		}
 		for _, r := range a.Rows() {
-			base := fmt.Sprintf("sut=%q,txn=%q,kind=%q", r.SUT, r.Txn, r.Kind.String())
+			base := fmt.Sprintf(`sut="%s",txn="%s",kind="%s"`,
+				escapeLabel(r.SUT), escapeLabel(r.Txn), escapeLabel(r.Kind.String()))
 			p("cloudybench_span_virtual_seconds{%s,quantile=\"0.5\"} %s\n", base, sec(r.P50.Nanoseconds()))
 			p("cloudybench_span_virtual_seconds{%s,quantile=\"0.95\"} %s\n", base, sec(r.P95.Nanoseconds()))
 			p("cloudybench_span_virtual_seconds{%s,quantile=\"0.99\"} %s\n", base, sec(r.P99.Nanoseconds()))
@@ -49,7 +60,7 @@ func WritePrometheus(w io.Writer, aggs ...*StageAgg) error {
 			continue
 		}
 		for _, r := range a.TxnRows() {
-			base := fmt.Sprintf("sut=%q,txn=%q", r.SUT, r.Txn)
+			base := fmt.Sprintf(`sut="%s",txn="%s"`, escapeLabel(r.SUT), escapeLabel(r.Txn))
 			p("cloudybench_txn_virtual_seconds{%s,quantile=\"0.5\"} %s\n", base, sec(r.P50.Nanoseconds()))
 			p("cloudybench_txn_virtual_seconds{%s,quantile=\"0.95\"} %s\n", base, sec(r.P95.Nanoseconds()))
 			p("cloudybench_txn_virtual_seconds{%s,quantile=\"0.99\"} %s\n", base, sec(r.P99.Nanoseconds()))
@@ -71,8 +82,8 @@ func WritePrometheus(w io.Writer, aggs ...*StageAgg) error {
 			}
 			sort.Strings(outcomes)
 			for _, o := range outcomes {
-				p("cloudybench_txn_outcomes_total{sut=%q,txn=%q,outcome=%q} %d\n",
-					r.SUT, r.Txn, o, r.Outcomes[o])
+				p("cloudybench_txn_outcomes_total{sut=\"%s\",txn=\"%s\",outcome=\"%s\"} %d\n",
+					escapeLabel(r.SUT), escapeLabel(r.Txn), escapeLabel(o), r.Outcomes[o])
 			}
 		}
 	}

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestPrometheusLabelEscaping is the regression test for the exposition
+// format's label rules: inside a label value, backslash, double quote, and
+// line feed must be escaped as \\, \", and \n — and nothing else may be
+// rewritten. The old renderer used Go's %q, which produced Go string
+// syntax: a tab became the two characters \t (which the Prometheus parser
+// rejects as an invalid escape) and a newline broke out of Go-escaping
+// guarantees the format doesn't share.
+func TestPrometheusLabelEscaping(t *testing.T) {
+	a := NewStageAgg(`su"t\one` + "\nx")
+	a.AddSpan("T\t1", KindCPU, ms(2))
+	a.addTrace(&Trace{Txn: "T\t1", Start: 0, End: ms(5), Outcome: `ok"\` + "\n"})
+
+	var b bytes.Buffer
+	if err := WritePrometheus(&b, a); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		// Backslash, quote, and newline escaped per the exposition format.
+		`sut="su\"t\\one\nx"`,
+		`outcome="ok\"\\\n"`,
+		// A raw tab passes through untouched — it is a legal UTF-8 label
+		// byte, not an escapable character.
+		"txn=\"T\t1\"",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("snapshot missing %q:\n%s", want, out)
+		}
+	}
+	// The Go-syntax tab escape must be gone for good.
+	if strings.Contains(out, `\t`) {
+		t.Fatalf("snapshot still contains Go-style \\t escapes:\n%s", out)
+	}
+	// No label value may contain a raw (unescaped) newline: every series
+	// must stay on one line, so each line is either a comment or ends in a
+	// value after a closing brace.
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.HasPrefix(line, "cloudybench_") || !strings.Contains(line, "} ") {
+			t.Fatalf("raw newline leaked into a label value, splitting line %q:\n%s", line, out)
+		}
+	}
+}
+
+func TestEscapeLabel(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{``, ``},
+		{`plain`, `plain`},
+		{`a\b`, `a\\b`},
+		{`a"b`, `a\"b`},
+		{"a\nb", `a\nb`},
+		{"\\\"\n", `\\\"\n`},
+		{"tab\there", "tab\there"}, // untouched
+		{"ünïcödé", "ünïcödé"},     // untouched
+	}
+	for _, c := range cases {
+		if got := escapeLabel(c.in); got != c.want {
+			t.Errorf("escapeLabel(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
