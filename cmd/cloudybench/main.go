@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -51,6 +53,43 @@ func run(args []string) error {
 	}
 }
 
+// startProfiles starts a CPU profile (if cpuFile is set) and returns a stop
+// function that finishes it and, if memFile is set, writes a post-GC heap
+// profile. Inspect either with `go tool pprof`.
+func startProfiles(cpuFile, memFile string) (func(), error) {
+	stopCPU := func() {}
+	if cpuFile != "" {
+		f, err := os.Create(cpuFile)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		stopCPU = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	return func() {
+		stopCPU()
+		if memFile == "" {
+			return
+		}
+		f, err := os.Create(memFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cloudybench: memprofile:", err)
+			return
+		}
+		runtime.GC() // report live allocations, not garbage awaiting collection
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cloudybench: memprofile:", err)
+		}
+		f.Close()
+	}, nil
+}
+
 func usage() {
 	fmt.Println(`cloudybench — a testbed for comprehensive evaluation of cloud-native databases
 
@@ -71,6 +110,8 @@ Flags for run:
   -parallel N              fan experiment cells out over N cores
                            (default 0 = all cores; 1 = sequential;
                            the report is byte-identical either way)
+  -cpuprofile FILE         write a CPU profile of the run to FILE
+  -memprofile FILE         write a post-GC heap profile at exit to FILE
 
 Flags for soak:
   -scale quick|paper|bench soak scale (default quick: 3 virtual days, 2h windows)
@@ -110,9 +151,16 @@ func runSoak(args []string) error {
 	scaleName := fs.String("scale", "quick", "soak scale: quick, paper, or bench")
 	outDir := fs.String("o", "soak-artifacts", "directory for soak.csv and soak.md")
 	parallel := fs.Int("parallel", 0, "SUT cells run on this many cores (0 = all cores, 1 = sequential); the artifact is byte-identical either way")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a post-GC heap profile at exit to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer stopProfiles()
 	sc, ok := experiments.ScaleByName(*scaleName)
 	if !ok {
 		return fmt.Errorf("unknown scale %q (quick, paper, or bench)", *scaleName)
@@ -148,6 +196,8 @@ func runExperiments(args []string) error {
 	traceDir := fs.String("trace", "", "write JSONL trace spans and a Prometheus metrics snapshot to this directory (trace-aware experiments)")
 	artifactDir := fs.String("artifacts", "", "write CSV/Markdown artifact files to this directory (artifact-emitting experiments, e.g. soak)")
 	parallel := fs.Int("parallel", 0, "experiment cells run on this many cores (0 = all cores, 1 = sequential); output is identical either way")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a post-GC heap profile at exit to this file")
 
 	// Accept ids before flags: split args into ids and flag-ish tail.
 	var ids []string
@@ -172,6 +222,11 @@ func runExperiments(args []string) error {
 	sc.TraceDir = *traceDir
 	sc.ArtifactDir = *artifactDir
 	experiments.SetParallelism(*parallel)
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer stopProfiles()
 
 	var out strings.Builder
 	for _, id := range ids {
@@ -188,6 +243,10 @@ func runExperiments(args []string) error {
 		fmt.Fprintf(os.Stderr, "== %s done in %s\n", id, time.Since(start).Round(time.Millisecond))
 		out.WriteString(text)
 		out.WriteString("\n")
+	}
+	if req, comp := experiments.WarmStats(); req > 0 {
+		fmt.Fprintf(os.Stderr, "== warm-up cache: %d requests, %d computed (%d reused)\n",
+			req, comp, req-comp)
 	}
 	fmt.Print(out.String())
 	if *outFile != "" {

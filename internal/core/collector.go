@@ -139,6 +139,52 @@ func (c *Collector) TPSBuckets(from, to time.Duration) []float64 {
 	return c.commits.Buckets(from, to)
 }
 
+// CollectorSnapshot is a point-in-time capture of a Collector (warm-up
+// memoization across sweep cells).
+type CollectorSnapshot struct {
+	commits   meter.CounterSnapshot
+	errors    meter.CounterSnapshot
+	terminals meter.CounterSnapshot
+	latency   meter.ReservoirSnapshot
+	byType    [5]int64
+	byOp      map[string]int64
+}
+
+// Snapshot captures the collector's current state.
+func (c *Collector) Snapshot() CollectorSnapshot {
+	s := CollectorSnapshot{
+		commits:   c.commits.Snapshot(),
+		errors:    c.errors.Snapshot(),
+		terminals: c.terminals.Snapshot(),
+		latency:   c.latency.Snapshot(),
+		byType:    c.byType,
+	}
+	if c.byOp != nil {
+		s.byOp = make(map[string]int64, len(c.byOp))
+		for op, n := range c.byOp {
+			s.byOp[op] = n
+		}
+	}
+	return s
+}
+
+// Restore resets the collector to a snapshot. All state is copied so
+// collectors restored from one snapshot accumulate independently.
+func (c *Collector) Restore(snap CollectorSnapshot) {
+	c.commits.Restore(snap.commits)
+	c.errors.Restore(snap.errors)
+	c.terminals.Restore(snap.terminals)
+	c.latency.Restore(snap.latency)
+	c.byType = snap.byType
+	c.byOp = nil
+	if snap.byOp != nil {
+		c.byOp = make(map[string]int64, len(snap.byOp))
+		for op, n := range snap.byOp {
+			c.byOp[op] = n
+		}
+	}
+}
+
 // Latency returns the latency reservoir.
 func (c *Collector) Latency() *meter.Reservoir { return c.latency }
 

@@ -1,0 +1,184 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"cloudybench/internal/sim"
+	"cloudybench/internal/storage"
+)
+
+// Fast-path microbenchmarks for the txn commit loop and the replica apply
+// path (BENCH_engine.json). The schema mirrors the CloudyBench customer
+// table's shape — int key, two low-cardinality strings, a float — so the
+// row-image encode/decode cost is representative.
+//
+// Refreshing the committed baseline after an intentional engine change
+// (fixed iteration counts so runs stay comparable across machines; the txn
+// benchmarks use a smaller count because each committed iteration grows the
+// WAL, and the replica benchmark a larger one so steady-state GC behaviour
+// is what gets measured):
+//
+//	{ go test -run '^$' -bench 'BenchmarkTxn' -benchtime 100000x -count 5 ./internal/engine/
+//	  go test -run '^$' -bench 'BenchmarkReplicaApply' -benchtime 1000000x -count 5 ./internal/engine/
+//	} > internal/engine/testdata/bench_engine_baseline.txt
+
+func benchSchema() *Schema {
+	return &Schema{
+		Name: "bench_rows",
+		Cols: []Column{
+			{Name: "id", Kind: KindInt},
+			{Name: "name", Kind: KindString},
+			{Name: "status", Kind: KindString},
+			{Name: "amount", Kind: KindFloat},
+		},
+		KeyCols:     []int{0},
+		AvgRowBytes: 64,
+	}
+}
+
+func benchRow(id int64) Row {
+	return Row{
+		Int(id),
+		Str(fmt.Sprintf("name-%04d", id%512)),
+		Str("pending"),
+		Float(float64(id) * 0.25),
+	}
+}
+
+// benchInSim runs fn on a simulation process and drains the sim.
+func benchInSim(b *testing.B, fn func(p *sim.Proc)) {
+	b.Helper()
+	s := sim.New(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	s.Go("bench", func(p *sim.Proc) { fn(p) })
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkTxnCommit measures the uncontended write-transaction hot loop:
+// Begin, one hot-row update, Commit. The two row buffers alternate so the
+// engine's ownership-transfer contract is respected without allocating a
+// fresh row per iteration (the row replaced in the delta two commits ago is
+// unreferenced and safe to reuse).
+func BenchmarkTxnCommit(b *testing.B) {
+	benchInSim(b, func(p *sim.Proc) {
+		s := p.Sim()
+		db := NewDB(s)
+		tbl := db.MustCreateTable(benchSchema(), 0, nil)
+		seedTxn := db.Begin(p)
+		if _, err := seedTxn.Insert(tbl, benchRow(1)); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := seedTxn.Commit(); err != nil {
+			b.Fatal(err)
+		}
+		rowA, rowB := benchRow(1), benchRow(1)
+		k := tbl.Schema.KeyOf(rowA)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			row := rowA
+			if i&1 == 1 {
+				row = rowB
+			}
+			row[3] = Float(float64(i))
+			txn := db.Begin(p)
+			if _, err := txn.Update(tbl, k, row); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := txn.Commit(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkTxnAbort measures the rollback path: aborted transactions must
+// leave no trace and, on the fast path, allocate nothing.
+func BenchmarkTxnAbort(b *testing.B) {
+	benchInSim(b, func(p *sim.Proc) {
+		s := p.Sim()
+		db := NewDB(s)
+		tbl := db.MustCreateTable(benchSchema(), 0, nil)
+		seedTxn := db.Begin(p)
+		if _, err := seedTxn.Insert(tbl, benchRow(1)); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := seedTxn.Commit(); err != nil {
+			b.Fatal(err)
+		}
+		rowA, rowB := benchRow(1), benchRow(1)
+		k := tbl.Schema.KeyOf(rowA)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			row := rowA
+			if i&1 == 1 {
+				row = rowB
+			}
+			txn := db.Begin(p)
+			if _, err := txn.Update(tbl, k, row); err != nil {
+				b.Fatal(err)
+			}
+			if err := txn.Abort(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// replicaBatch builds a committed WAL batch (inserts then updates over a
+// small key range, with commit markers) and a replica DB to apply it to.
+func replicaBatch(b *testing.B) (*DB, []storage.Record) {
+	b.Helper()
+	s := sim.New(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	var recs []storage.Record
+	replica := NewDB(s)
+	replica.MustCreateTable(benchSchema(), 0, nil)
+
+	primary := NewDB(s)
+	tbl := primary.MustCreateTable(benchSchema(), 0, nil)
+	s.Go("build", func(p *sim.Proc) {
+		for txn := 0; txn < 32; txn++ {
+			t := primary.Begin(p)
+			for j := 0; j < 7; j++ {
+				id := int64(txn*7 + j + 1)
+				if _, err := t.Insert(tbl, benchRow(id)); err != nil {
+					panic(err)
+				}
+			}
+			appended, err := t.Commit()
+			if err != nil {
+				panic(err)
+			}
+			recs = append(recs, append([]storage.Record(nil), appended...)...)
+		}
+	})
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+	return replica, recs
+}
+
+// BenchmarkReplicaApply measures the replica replay path per record: a
+// shipped batch of insert records (plus commit markers) applied to a
+// replica's delta overlay through the batched path. Idempotent replay keeps
+// the replica in steady state across iterations; ns/op and allocs/op are
+// per record.
+func BenchmarkReplicaApply(b *testing.B) {
+	replica, recs := replicaBatch(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		batch := recs
+		if rest := b.N - done; rest < len(batch) {
+			batch = batch[:rest]
+		}
+		if err := replica.ApplyBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+		done += len(batch)
+	}
+}

@@ -24,6 +24,21 @@ type DB struct {
 	nextTxn     uint64
 	nextTableID storage.TableID
 
+	// Fast-path scratch (DESIGN.md §15). txnFree recycles finished Txn
+	// objects — a deterministic free-list, not sync.Pool, so reuse order is
+	// a pure function of the commit/abort order and the rawgo rule stays
+	// clean. appended is the shared buffer Commit returns: it is valid until
+	// the next committing transaction on this DB, which every caller
+	// respects by consuming the records synchronously. slab holds the
+	// stable copies of record Key/Image bytes referenced by the WAL, and
+	// internStr canonicalizes the low-cardinality strings replica replay
+	// decodes over and over.
+	txnFree   []*Txn
+	appended  []storage.Record
+	slab      []byte
+	valSlab   []Value
+	internStr map[string]string
+
 	observer Observer
 
 	commits int64
@@ -33,11 +48,12 @@ type DB struct {
 // NewDB returns an empty database bound to the simulation.
 func NewDB(s *sim.Sim) *DB {
 	return &DB{
-		sim:    s,
-		byName: make(map[string]*Table),
-		byID:   make(map[storage.TableID]*Table),
-		locks:  NewLockTable(s),
-		log:    storage.NewLog(),
+		sim:       s,
+		byName:    make(map[string]*Table),
+		byID:      make(map[storage.TableID]*Table),
+		locks:     NewLockTable(s),
+		log:       storage.NewLog(),
+		internStr: make(map[string]string),
 	}
 }
 
@@ -132,25 +148,54 @@ func (db *DB) Read(table string, k Key) (Row, storage.PageID, bool) {
 // Apply replays one shipped WAL record into this (replica) instance.
 // Commit, begin, abort, and checkpoint records are no-ops at the data layer.
 func (db *DB) Apply(rec storage.Record) error {
+	var cache *Table
+	return db.applyRecord(&rec, &cache)
+}
+
+// ApplyBatch replays a whole shipped batch in one pass: the table pointer is
+// cached across runs of records touching the same table and row images
+// decode through the DB string interner, so steady-state replay allocates
+// only the row slices that the delta overlay retains. Records apply in
+// exactly slice order — the visible result is byte-identical to calling
+// Apply once per record.
+func (db *DB) ApplyBatch(recs []storage.Record) error {
+	var cache *Table
+	for i := range recs {
+		if err := db.applyRecord(&recs[i], &cache); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyRecord replays one record, reusing *cache when the record names the
+// same table as its predecessor. The decoded row and the key bytes go into
+// the delta overlay uncloned: record images are immutable once shipped, so
+// the overlay may alias them.
+func (db *DB) applyRecord(rec *storage.Record, cache **Table) error {
 	switch rec.Type {
 	case storage.RecInsert, storage.RecUpdate, storage.RecDelete:
 	default:
 		return nil
 	}
-	t := db.byID[rec.Table]
-	if t == nil {
-		return fmt.Errorf("engine: replay for unknown table id %d", rec.Table)
+	t := *cache
+	if t == nil || t.ID != rec.Table {
+		t = db.byID[rec.Table]
+		if t == nil {
+			return fmt.Errorf("engine: replay for unknown table id %d", rec.Table)
+		}
+		*cache = t
 	}
 	key := Key(rec.Key)
 	switch rec.Type {
 	case storage.RecInsert:
-		row, err := DecodeRow(rec.Image)
+		row, err := db.decodeRow(rec.Image)
 		if err != nil {
 			return fmt.Errorf("engine: replay insert: %w", err)
 		}
 		t.InsertAt(key, row, rec.Page)
 	case storage.RecUpdate:
-		row, err := DecodeRow(rec.Image)
+		row, err := db.decodeRow(rec.Image)
 		if err != nil {
 			return fmt.Errorf("engine: replay update: %w", err)
 		}
@@ -159,6 +204,34 @@ func (db *DB) Apply(rec storage.Record) error {
 		t.DeleteAt(key, rec.Page)
 	}
 	return nil
+}
+
+// Interner bounds: strings longer than internMaxLen are not worth
+// canonicalizing (row payloads, not enums), and the map stops admitting new
+// entries at internMaxEntries so a high-cardinality column cannot turn the
+// interner into a second copy of the table.
+const (
+	internMaxLen     = 32
+	internMaxEntries = 4096
+)
+
+// intern returns a canonical string for b. The suite schemas churn through
+// a handful of status/name values per table, so replica replay hits the
+// canonical entry and allocates nothing; misses past the entry cap simply
+// copy.
+func (db *DB) intern(b []byte) string {
+	if len(b) > internMaxLen {
+		return string(b)
+	}
+	if s, ok := db.internStr[string(b)]; ok {
+		return s
+	}
+	if len(db.internStr) >= internMaxEntries {
+		return string(b)
+	}
+	s := string(b)
+	db.internStr[s] = s
+	return s
 }
 
 // ErrTxnDone is returned when using a committed or aborted transaction.
@@ -180,13 +253,28 @@ type undoEntry struct {
 // held until commit or abort, updates apply in place with undo images, and
 // the redo stream is appended to the WAL at commit (so replicas only ever
 // see committed changes).
+//
+// Finished transactions return to the DB free-list, so a *Txn handle must be
+// dropped once Commit or Abort returns: the done flag rejects a stray second
+// finish only until the object is reissued by a later Begin.
 type Txn struct {
-	db      *DB
-	p       *sim.Proc
-	id      uint64
-	done    bool
-	lockSet map[string]struct{}
-	lockSeq []string
+	db   *DB
+	p    *sim.Proc
+	id   uint64
+	done bool
+	// lockSorted is the txn's lock set as a sorted slice of the lock
+	// table's canonical key strings — membership is a binary search, and
+	// the slice recycles with the txn where the old per-txn map allocated
+	// on every Begin. lockSeq preserves acquisition order for release.
+	lockSorted []string
+	lockSeq    []string
+	// keyBuf is the composite lock-key scratch (table name, NUL, row key).
+	keyBuf []byte
+	// arena backs the Key and Image bytes of pending records until Commit
+	// copies the survivors into the DB slab; aborted transactions recycle
+	// it wholesale, allocating nothing. See DESIGN.md §15 for what may
+	// hold an arena slice and for how long.
+	arena   []byte
 	undo    []undoEntry
 	pending []storage.Record
 	// lastIxPages holds the index pages touched by the most recent write
@@ -195,29 +283,132 @@ type Txn struct {
 	lastIxPages []storage.PageID
 }
 
-// Begin starts a transaction executed by process p.
+// Begin starts a transaction executed by process p, reusing a finished Txn
+// from the free-list when one is available.
 func (db *DB) Begin(p *sim.Proc) *Txn {
 	db.nextTxn++
-	return &Txn{db: db, p: p, id: db.nextTxn, lockSet: make(map[string]struct{})}
+	var t *Txn
+	if n := len(db.txnFree); n > 0 {
+		t = db.txnFree[n-1]
+		db.txnFree = db.txnFree[:n-1]
+	} else {
+		t = &Txn{}
+	}
+	t.db, t.p, t.id, t.done = db, p, db.nextTxn, false
+	return t
+}
+
+// release recycles a finished transaction onto the DB free-list. Undo and
+// pending entries are zeroed so the free-list does not pin rows or images.
+func (db *DB) release(t *Txn) {
+	for i := range t.undo {
+		t.undo[i] = undoEntry{}
+	}
+	for i := range t.pending {
+		t.pending[i] = storage.Record{}
+	}
+	t.undo = t.undo[:0]
+	t.pending = t.pending[:0]
+	t.lockSorted = t.lockSorted[:0]
+	t.lockSeq = t.lockSeq[:0]
+	t.arena = t.arena[:0]
+	t.lastIxPages = t.lastIxPages[:0]
+	t.p = nil
+	db.txnFree = append(db.txnFree, t)
 }
 
 // ID returns the transaction id.
 func (t *Txn) ID() uint64 { return t.id }
 
-func lockKey(table *Table, k Key) string {
-	return table.Schema.Name + "\x00" + string(k)
+// cmpStringBytes is bytes.Compare across a string and a byte slice, avoiding
+// the conversion allocation in the lock-set binary search.
+func cmpStringBytes(s string, b []byte) int {
+	n := len(s)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if s[i] != b[i] {
+			if s[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(s) < len(b):
+		return -1
+	case len(s) > len(b):
+		return 1
+	}
+	return 0
+}
+
+// searchLocks binary-searches the sorted lock set for the composite key kb,
+// returning the insertion index and whether it is present.
+func searchLocks(sorted []string, kb []byte) (int, bool) {
+	lo, hi := 0, len(sorted)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		switch c := cmpStringBytes(sorted[mid], kb); {
+		case c < 0:
+			lo = mid + 1
+		case c > 0:
+			hi = mid
+		default:
+			return mid, true
+		}
+	}
+	return lo, false
 }
 
 func (t *Txn) acquire(table *Table, k Key, mode LockMode) error {
-	lk := lockKey(table, k)
-	if err := t.db.locks.Acquire(t.p, t.id, lk, mode); err != nil {
+	kb := append(t.keyBuf[:0], table.Schema.Name...)
+	kb = append(kb, 0)
+	kb = append(kb, k...)
+	t.keyBuf = kb
+	i, found := searchLocks(t.lockSorted, kb)
+	canonical, err := t.db.locks.AcquireKey(t.p, t.id, kb, mode)
+	if err != nil {
 		return err
 	}
-	if _, held := t.lockSet[lk]; !held {
-		t.lockSet[lk] = struct{}{}
-		t.lockSeq = append(t.lockSeq, lk)
+	if !found {
+		t.lockSorted = append(t.lockSorted, "")
+		copy(t.lockSorted[i+1:], t.lockSorted[i:])
+		t.lockSorted[i] = canonical
+		t.lockSeq = append(t.lockSeq, canonical)
 	}
 	return nil
+}
+
+// arenaEnsure grows the arena geometrically. EncodeRow's own growth is
+// exact-fit, which would reallocate on every encode once the arena rides its
+// capacity; doubling here keeps bulk-load transactions linear. Growth leaves
+// earlier arena slices pointing at the previous backing array, which stays
+// correct — arena bytes are immutable once written.
+func (t *Txn) arenaEnsure(need int) {
+	if cap(t.arena)-len(t.arena) >= need {
+		return
+	}
+	grown := make([]byte, len(t.arena), 2*cap(t.arena)+need)
+	copy(grown, t.arena)
+	t.arena = grown
+}
+
+// arenaBytes copies b into the txn arena, returning the arena-backed copy.
+func (t *Txn) arenaBytes(b []byte) []byte {
+	t.arenaEnsure(len(b))
+	n := len(t.arena)
+	t.arena = append(t.arena, b...)
+	return t.arena[n:len(t.arena):len(t.arena)]
+}
+
+// arenaRow encodes r into the txn arena, returning the image bytes.
+func (t *Txn) arenaRow(r Row) []byte {
+	t.arenaEnsure(EncodedRowSize(r))
+	n := len(t.arena)
+	t.arena = EncodeRow(t.arena, r)
+	return t.arena[n:len(t.arena):len(t.arena)]
 }
 
 // Get reads the row under k with a shared lock, returning the row and the
@@ -283,8 +474,8 @@ func (t *Txn) Insert(table *Table, row Row) (storage.PageID, error) {
 		Txn:   t.id,
 		Table: table.ID,
 		Page:  page,
-		Key:   []byte(k),
-		Image: EncodeRow(nil, row),
+		Key:   t.arenaBytes(k),
+		Image: t.arenaRow(row),
 	})
 	t.recordIndexOps(table)
 	return page, nil
@@ -312,8 +503,8 @@ func (t *Txn) Update(table *Table, k Key, row Row) (storage.PageID, error) {
 		Txn:   t.id,
 		Table: table.ID,
 		Page:  page,
-		Key:   []byte(k),
-		Image: EncodeRow(nil, row),
+		Key:   t.arenaBytes(k),
+		Image: t.arenaRow(row),
 	})
 	t.recordIndexOps(table)
 	return page, nil
@@ -341,7 +532,7 @@ func (t *Txn) Delete(table *Table, k Key) (storage.PageID, error) {
 		Txn:   t.id,
 		Table: table.ID,
 		Page:  page,
-		Key:   []byte(k),
+		Key:   t.arenaBytes(k),
 	})
 	t.recordIndexOps(table)
 	return page, nil
@@ -364,7 +555,7 @@ func (t *Txn) recordIndexOps(table *Table) {
 			Txn:   t.id,
 			Table: op.Index.ID,
 			Page:  op.Page,
-			Key:   append([]byte(nil), op.EntryKey...),
+			Key:   t.arenaBytes(op.EntryKey),
 		})
 		t.lastIxPages = append(t.lastIxPages, op.Page)
 	}
@@ -409,37 +600,75 @@ func (t *Txn) ScanRange(table *Table, col int, lo, hi Value, limit int, mode Pla
 	return out, nil
 }
 
+// stable copies b into the DB's slab, returning an immortal copy for WAL
+// records to retain. Slab chunks amortize the copy-out to well under one
+// allocation per record.
+const slabChunk = 64 << 10
+
+func (db *DB) stable(b []byte) []byte {
+	if len(b) == 0 {
+		return nil
+	}
+	if cap(db.slab)-len(db.slab) < len(b) {
+		size := slabChunk
+		if len(b) > size {
+			size = len(b)
+		}
+		db.slab = make([]byte, 0, size)
+	}
+	n := len(db.slab)
+	db.slab = append(db.slab, b...)
+	return db.slab[n : n+len(b) : n+len(b)]
+}
+
 // Commit appends the transaction's redo records plus a commit record to the
 // WAL, releases all locks, and returns the appended records (the caller
 // charges log-write and shipping costs from their sizes). Read-only
 // transactions append nothing.
+//
+// The returned slice is a shared per-DB buffer, valid until the next
+// committing transaction on this DB: callers must consume it synchronously
+// (every caller does — the node layer publishes the records to replication
+// streams before yielding). The record Key/Image bytes themselves are
+// slab-backed and immortal.
 func (t *Txn) Commit() ([]storage.Record, error) {
 	if t.done {
 		return nil, ErrTxnDone
 	}
 	t.done = true
+	db := t.db
 	var appended []storage.Record
 	if len(t.pending) > 0 {
-		appended = make([]storage.Record, 0, len(t.pending)+1)
-		for _, rec := range t.pending {
+		appended = db.appended[:0]
+		if cap(appended) < len(t.pending)+1 {
+			appended = make([]storage.Record, 0, len(t.pending)+1)
+		}
+		for i := range t.pending {
+			rec := t.pending[i]
+			rec.Key = db.stable(rec.Key)
+			rec.Image = db.stable(rec.Image)
 			rec.LSN = 0
-			lsn := t.db.log.Append(rec)
-			rec.LSN = lsn
+			rec.LSN = db.log.Append(rec)
 			appended = append(appended, rec)
 		}
 		commit := storage.Record{Type: storage.RecCommit, Txn: t.id}
-		commit.LSN = t.db.log.Append(commit)
+		commit.LSN = db.log.Append(commit)
 		appended = append(appended, commit)
+		db.appended = appended
 	}
-	t.db.locks.ReleaseAll(t.id, t.lockSeq)
-	t.db.commits++
-	if o := t.db.observer; o != nil {
-		o.OnCommit(t.db.sim.Elapsed(), t.id)
+	db.locks.ReleaseAll(t.id, t.lockSeq)
+	db.commits++
+	if o := db.observer; o != nil {
+		o.OnCommit(db.sim.Elapsed(), t.id)
 	}
+	db.release(t)
 	return appended, nil
 }
 
 // Abort rolls back every change in reverse order and releases all locks.
+// Nothing the transaction buffered escapes: pending records and their
+// arena-backed bytes recycle with the Txn, so an aborted transaction
+// allocates nothing on the fast path.
 func (t *Txn) Abort() error {
 	if t.done {
 		return ErrTxnDone
@@ -449,11 +678,13 @@ func (t *Txn) Abort() error {
 		u := t.undo[i]
 		u.table.undoSet(u.key, u.prior, u.page, u.existed, u.inDelta)
 	}
-	t.db.locks.ReleaseAll(t.id, t.lockSeq)
-	t.db.aborts++
-	if o := t.db.observer; o != nil {
-		o.OnAbort(t.db.sim.Elapsed(), t.id)
+	db := t.db
+	db.locks.ReleaseAll(t.id, t.lockSeq)
+	db.aborts++
+	if o := db.observer; o != nil {
+		o.OnAbort(db.sim.Elapsed(), t.id)
 	}
+	db.release(t)
 	return nil
 }
 

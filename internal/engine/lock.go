@@ -43,6 +43,12 @@ type lockRequest struct {
 }
 
 type lockState struct {
+	// key is the canonical interned key string for this lock. Transactions
+	// record it in their lock sets instead of re-allocating the composite
+	// key per acquisition: the string is allocated once per distinct key
+	// for the lifetime of the lock table (states are retained when they
+	// drain — see Release).
+	key     string
 	holders map[uint64]LockMode
 	queue   []*lockRequest
 }
@@ -95,17 +101,39 @@ func (st *lockState) compatible(txn uint64, mode LockMode) bool {
 func (lt *LockTable) Acquire(p *sim.Proc, txn uint64, key string, mode LockMode) error {
 	st, ok := lt.locks[key]
 	if !ok {
-		st = &lockState{holders: make(map[uint64]LockMode)}
+		st = &lockState{key: key, holders: make(map[uint64]LockMode)}
 		lt.locks[key] = st
 	}
+	_, err := lt.acquireState(p, txn, st, mode)
+	return err
+}
+
+// AcquireKey is Acquire probing with raw key bytes: the map access compiles
+// to an allocation-free lookup, and the state's interned canonical string is
+// returned so callers can record the lock without materializing the key. The
+// transaction hot loop builds composite keys into a reusable scratch buffer
+// and acquires through here.
+func (lt *LockTable) AcquireKey(p *sim.Proc, txn uint64, key []byte, mode LockMode) (string, error) {
+	st, ok := lt.locks[string(key)]
+	if !ok {
+		st = &lockState{key: string(key), holders: make(map[uint64]LockMode)}
+		lt.locks[st.key] = st
+	}
+	return lt.acquireState(p, txn, st, mode)
+}
+
+// acquireState grants or waits for st in the given mode, returning the
+// canonical key string.
+func (lt *LockTable) acquireState(p *sim.Proc, txn uint64, st *lockState, mode LockMode) (string, error) {
+	key := st.key
 	if held, ok := st.holders[txn]; ok && (held == LockExclusive || held == mode) {
-		return nil // already held at sufficient strength
+		return key, nil // already held at sufficient strength
 	}
 	_, upgrade := st.holders[txn]
 	// Grant immediately when compatible and not queue-jumping non-upgrades.
 	if st.compatible(txn, mode) && (upgrade || len(st.queue) == 0) {
 		st.holders[txn] = mode
-		return nil
+		return key, nil
 	}
 	req := &lockRequest{txn: txn, mode: mode, upgrade: upgrade, cond: sim.NewCond(lt.s)}
 	if upgrade {
@@ -141,9 +169,9 @@ func (lt *LockTable) Acquire(p *sim.Proc, txn uint64, key string, mode LockMode)
 		lt.OnWait(p, txn, key, waitStart, lt.s.Elapsed())
 	}
 	if req.timeout {
-		return ErrLockTimeout
+		return key, ErrLockTimeout
 	}
-	return nil
+	return key, nil
 }
 
 // grantWaiters admits queued requests in FIFO order while compatible.
@@ -160,7 +188,10 @@ func (lt *LockTable) grantWaiters(key string, st *lockState) {
 	}
 }
 
-// Release drops txn's lock on key, waking eligible waiters.
+// Release drops txn's lock on key, waking eligible waiters. Drained states
+// are retained (not deleted) so the canonical key string survives: the
+// workloads hammer a hot working set, and keeping the state makes the next
+// acquisition of the same key allocation-free.
 func (lt *LockTable) Release(txn uint64, key string) {
 	st, ok := lt.locks[key]
 	if !ok {
@@ -168,9 +199,6 @@ func (lt *LockTable) Release(txn uint64, key string) {
 	}
 	delete(st.holders, txn)
 	lt.grantWaiters(key, st)
-	if len(st.holders) == 0 && len(st.queue) == 0 {
-		delete(lt.locks, key)
-	}
 }
 
 // ReleaseAll drops every lock named in keys for txn (commit/abort).
@@ -183,6 +211,14 @@ func (lt *LockTable) ReleaseAll(txn uint64, keys []string) {
 // Stats returns the number of waits and timeouts observed.
 func (lt *LockTable) Stats() (waits, timeouts int64) { return lt.waits, lt.timeouts }
 
-// HeldLocks returns the number of keys with at least one holder (for tests
-// asserting clean release).
-func (lt *LockTable) HeldLocks() int { return len(lt.locks) }
+// HeldLocks returns the number of keys with at least one holder or waiter
+// (for tests asserting clean release). Drained interned states don't count.
+func (lt *LockTable) HeldLocks() int {
+	n := 0
+	for _, st := range lt.locks {
+		if len(st.holders) > 0 || len(st.queue) > 0 {
+			n++
+		}
+	}
+	return n
+}

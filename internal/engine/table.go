@@ -199,13 +199,18 @@ var ErrDuplicateKey = errors.New("engine: duplicate primary key")
 
 // Insert adds a new row, assigning it a physical page. The caller must hold
 // the X lock. It fails on duplicate keys.
+//
+// The table takes ownership of r (and of k, when the key is new to the
+// overlay): callers must not mutate either after a successful write. Every
+// write path used to clone defensively; the workloads all build fresh rows
+// per write, so the clone only fed the allocator (DESIGN.md §15).
 func (t *Table) Insert(k Key, r Row) (storage.PageID, error) {
 	if dv, ok := t.delta.Get(k); ok {
 		if dv.row != nil {
 			return storage.PageID{}, ErrDuplicateKey
 		}
 		// Re-insert over tombstone reuses the row's original page.
-		t.delta.Set(k, deltaVal{row: r.Clone(), page: dv.page})
+		t.delta.Set(k, deltaVal{row: r, page: dv.page})
 		t.liveRows++
 		t.refreshIndexes(k, nil)
 		return dv.page, nil
@@ -214,7 +219,7 @@ func (t *Table) Insert(k Key, r Row) (storage.PageID, error) {
 		return storage.PageID{}, ErrDuplicateKey
 	}
 	page := t.nextAppendPage()
-	t.delta.Set(k, deltaVal{row: r.Clone(), page: page})
+	t.delta.Set(k, deltaVal{row: r, page: page})
 	t.liveRows++
 	if id, ok := DecodeIntKey(k); ok {
 		t.BumpAutoID(id)
@@ -224,20 +229,20 @@ func (t *Table) Insert(k Key, r Row) (storage.PageID, error) {
 }
 
 // InsertAt adds a row at a specific page (replica replay of a shipped
-// insert, keeping page identity consistent with the primary).
+// insert, keeping page identity consistent with the primary). Like Insert,
+// it takes ownership of k and r — replay hands over rows decoded from
+// immutable record images.
 func (t *Table) InsertAt(k Key, r Row, page storage.PageID) {
 	old := t.visibleForIndex(k)
-	if dv, ok := t.delta.Get(k); ok && dv.row != nil {
-		// Idempotent replay: overwrite in place.
-		t.delta.Set(k, deltaVal{row: r.Clone(), page: page})
-		t.refreshIndexes(k, old)
-		return
-	}
-	// Fresh insert or re-insert over a tombstone: row becomes visible.
-	t.delta.Set(k, deltaVal{row: r.Clone(), page: page})
-	t.liveRows++
-	if id, ok := DecodeIntKey(k); ok {
-		t.BumpAutoID(id)
+	// One overlay descent: Set returns the displaced entry, which tells
+	// idempotent overwrite (visible row replaced in place) apart from a
+	// fresh insert or a re-insert over a tombstone (row becomes visible).
+	dv, replaced := t.delta.Set(k, deltaVal{row: r, page: page})
+	if !replaced || dv.row == nil {
+		t.liveRows++
+		if id, ok := DecodeIntKey(k); ok {
+			t.BumpAutoID(id)
+		}
 	}
 	t.refreshIndexes(k, old)
 }
@@ -246,21 +251,23 @@ func (t *Table) InsertAt(k Key, r Row, page storage.PageID) {
 var ErrRowNotFound = errors.New("engine: row not found")
 
 // Update replaces the row under k, returning the page and the old row (for
-// undo). The caller must hold the X lock.
+// undo). The caller must hold the X lock. The table takes ownership of k and
+// r (see Insert).
 func (t *Table) Update(k Key, r Row) (storage.PageID, Row, error) {
 	old, page, ok := t.Get(k)
 	if !ok {
 		return storage.PageID{}, nil, ErrRowNotFound
 	}
-	t.delta.Set(k, deltaVal{row: r.Clone(), page: page})
+	t.delta.Set(k, deltaVal{row: r, page: page})
 	t.refreshIndexes(k, old)
 	return page, old, nil
 }
 
-// UpdateAt applies a replicated update image at the given page.
+// UpdateAt applies a replicated update image at the given page, taking
+// ownership of k and r (see InsertAt).
 func (t *Table) UpdateAt(k Key, r Row, page storage.PageID) {
 	old := t.visibleForIndex(k)
-	t.delta.Set(k, deltaVal{row: r.Clone(), page: page})
+	t.delta.Set(k, deltaVal{row: r, page: page})
 	t.refreshIndexes(k, old)
 }
 
@@ -280,10 +287,14 @@ func (t *Table) Delete(k Key) (storage.PageID, Row, error) {
 // DeleteAt applies a replicated delete at the given page.
 func (t *Table) DeleteAt(k Key, page storage.PageID) {
 	old := t.visibleForIndex(k)
-	if _, _, visible := t.Get(k); visible {
+	dv, replaced := t.delta.Set(k, deltaVal{row: nil, page: page})
+	visible := dv.row != nil
+	if !replaced {
+		_, visible = t.isBaseKey(k)
+	}
+	if visible {
 		t.liveRows--
 	}
-	t.delta.Set(k, deltaVal{row: nil, page: page})
 	t.refreshIndexes(k, old)
 }
 
@@ -300,7 +311,9 @@ func (t *Table) undoSet(k Key, prior Row, page storage.PageID, existedBefore, wa
 	_, _, visible := t.Get(k)
 	switch {
 	case existedBefore && wasDelta:
-		t.delta.Set(k, deltaVal{row: prior.Clone(), page: page})
+		// prior is the exact row object the transaction displaced; rows are
+		// immutable once written, so restoring it uncloned is safe.
+		t.delta.Set(k, deltaVal{row: prior, page: page})
 		if !visible {
 			t.liveRows++
 		}

@@ -130,8 +130,16 @@ func (r Row) Equal(o Row) bool {
 }
 
 // EncodeRow appends a compact binary encoding of the row to dst. The format
-// is a uvarint column count followed by tagged values.
+// is a uvarint column count followed by tagged values. The destination is
+// pre-sized with EncodedRowSize, so encoding into a buffer with enough spare
+// capacity performs no allocation and encoding into a short one grows it
+// exactly once.
 func EncodeRow(dst []byte, r Row) []byte {
+	if need := EncodedRowSize(r); cap(dst)-len(dst) < need {
+		grown := make([]byte, len(dst), len(dst)+need)
+		copy(grown, dst)
+		dst = grown
+	}
 	dst = binary.AppendUvarint(dst, uint64(len(r)))
 	for _, v := range r {
 		dst = append(dst, byte(v.Kind))
@@ -199,7 +207,104 @@ func DecodeRow(buf []byte) (Row, error) {
 	return row, nil
 }
 
-// EncodedRowSize returns the encoded byte size of the row without encoding.
+// decodeRow is DecodeRow with string payloads routed through the DB
+// interner: replica replay decodes the same low-cardinality status/name
+// values millions of times, and interning makes every repeat allocation-free.
+// The returned row still owns a fresh slice — the delta overlay retains it.
+func (db *DB) decodeRow(buf []byte) (Row, error) {
+	n, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return nil, ErrBadRow
+	}
+	buf = buf[sz:]
+	row := db.newRow(int(n))
+	for i := uint64(0); i < n; i++ {
+		if len(buf) < 1 {
+			return nil, ErrBadRow
+		}
+		kind := Kind(buf[0])
+		buf = buf[1:]
+		switch kind {
+		case KindNull:
+			row = append(row, Null())
+		case KindInt:
+			v, sz := binary.Varint(buf)
+			if sz <= 0 {
+				return nil, ErrBadRow
+			}
+			buf = buf[sz:]
+			row = append(row, Int(v))
+		case KindFloat:
+			if len(buf) < 8 {
+				return nil, ErrBadRow
+			}
+			row = append(row, Float(math.Float64frombits(binary.BigEndian.Uint64(buf))))
+			buf = buf[8:]
+		case KindString:
+			l, sz := binary.Uvarint(buf)
+			if sz <= 0 || uint64(len(buf)-sz) < l {
+				return nil, ErrBadRow
+			}
+			buf = buf[sz:]
+			row = append(row, Str(db.intern(buf[:l])))
+			buf = buf[l:]
+		default:
+			return nil, ErrBadRow
+		}
+	}
+	return row, nil
+}
+
+// valSlabChunk sizes the replay row slab: decoded rows are carved out of a
+// shared []Value block, amortizing the per-record slice allocation that
+// otherwise dominates replay GC cost. Rows are immutable once written, so
+// sharing a backing array across delta rows is safe; a chunk is collected
+// once every row carved from it has been displaced.
+const valSlabChunk = 1024
+
+// newRow returns an empty row with capacity n carved from the DB value slab
+// (oversized rows fall back to a plain allocation).
+func (db *DB) newRow(n int) Row {
+	if n > valSlabChunk {
+		return make(Row, 0, n)
+	}
+	if cap(db.valSlab)-len(db.valSlab) < n {
+		db.valSlab = make([]Value, 0, valSlabChunk)
+	}
+	off := len(db.valSlab)
+	db.valSlab = db.valSlab[:off+n]
+	return Row(db.valSlab[off:off : off+n])
+}
+
+// uvarintLen returns the encoded size of v as a uvarint.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// EncodedRowSize returns the encoded byte size of the row in one pass,
+// without encoding or allocating. EncodeRow uses it to pre-size its
+// destination buffer.
 func EncodedRowSize(r Row) int {
-	return len(EncodeRow(nil, r))
+	size := uvarintLen(uint64(len(r)))
+	for _, v := range r {
+		size++ // kind tag
+		switch v.Kind {
+		case KindNull:
+		case KindInt:
+			// Varint zig-zag encodes to the uvarint of 2|v| (±).
+			size += uvarintLen(uint64(v.I)<<1 ^ uint64(v.I>>63))
+		case KindFloat:
+			size += 8
+		case KindString:
+			size += uvarintLen(uint64(len(v.S))) + len(v.S)
+		default:
+			panic(fmt.Sprintf("engine: size of unknown kind %d", v.Kind))
+		}
+	}
+	return size
 }

@@ -42,6 +42,12 @@ type OLTPConfig struct {
 	// Tracer, if non-nil, records per-transaction stage traces during the
 	// run (both warmup and measure windows). Nil runs untraced at zero cost.
 	Tracer *obs.Tracer
+	// Warm, if non-nil, memoizes the warm-up phase across cells sharing a
+	// WarmKey: the first cell runs the warm-up and snapshots the quiescent
+	// cluster; later cells fork the measurement phase straight from the
+	// snapshot. Results are byte-identical with or without a cache (a traced
+	// run bypasses it so warm-up spans are recorded).
+	Warm *WarmCache
 }
 
 // NoReplicas requests a deployment without read-only nodes.
@@ -83,18 +89,115 @@ type OLTPResult struct {
 	PScore     float64
 }
 
-// RunOLTP measures steady-state throughput for one configuration.
-func RunOLTP(cfg OLTPConfig) OLTPResult {
-	cfg = cfg.withDefaults()
-	s := sim.New(simEpoch)
-	d := cdb.MustDeploy(s, cdb.ProfileFor(cfg.Kind), cdb.Options{
+// warmKey builds the memoization key for this configuration's warm-up.
+func (c OLTPConfig) warmKey() WarmKey {
+	return WarmKey{
+		Kind: c.Kind, SF: c.SF, Mix: c.Mix, Concurrency: c.Concurrency,
+		Distribution: c.Distribution, Replicas: c.Replicas,
+		Warmup: c.Warmup, BufferBytes: c.BufferBytes, Seed: c.Seed,
+	}
+}
+
+// oltpDeploy builds one OLTP cluster for cfg. Both phases deploy through it
+// so the catalogs line up for the snapshot restore.
+func oltpDeploy(s *sim.Sim, cfg OLTPConfig, preWarm bool) *cdb.Deployment {
+	return cdb.MustDeploy(s, cdb.ProfileFor(cfg.Kind), cdb.Options{
 		SF: cfg.SF, Seed: cfg.Seed, Replicas: cfg.Replicas,
-		BufferBytes: cfg.BufferBytes, PreWarm: true,
+		BufferBytes: cfg.BufferBytes, PreWarm: preWarm,
 		// Throughput evaluation uses the provisioned (fixed) size.
 		Serverless: cdb.Bool(false),
 		Tracer:     cfg.Tracer,
 	})
+}
+
+// runWarmup executes the warm-up phase in its own simulation: load the
+// cluster for cfg.Warmup, drain the clients, wait for every replication
+// stream to go quiet, and snapshot the resulting state. cfg must carry its
+// defaults already.
+func runWarmup(cfg OLTPConfig) *WarmSnapshot {
+	s := sim.New(simEpoch)
+	d := oltpDeploy(s, cfg, true)
 	col := core.NewCollector()
+	r := core.NewRunner(s, core.Config{
+		Name: "oltp", Seed: cfg.Seed, Mix: cfg.Mix,
+		Distribution: cfg.Distribution,
+		Write:        d.RW, Read: d.ReadNode,
+		Collector: col,
+		Tracer:    cfg.Tracer,
+	})
+	snap := &WarmSnapshot{}
+	s.Go("ctl", func(p *sim.Proc) {
+		r.SetConcurrency(cfg.Concurrency)
+		p.Sleep(cfg.Warmup)
+		r.Stop()
+		r.Wait(p)
+		// Quiesce replication: the snapshot must capture every warm-up
+		// commit applied on every replica, or forked cells would start with
+		// records in flight that no stream remembers.
+		for {
+			settled := true
+			for _, st := range d.Streams() {
+				shipped, applied := st.Counts()
+				if st.Backlog() != 0 || shipped != applied {
+					settled = false
+					break
+				}
+			}
+			if settled {
+				break
+			}
+			p.Sleep(time.Millisecond)
+		}
+		snap.offset = p.Elapsed()
+		d.Shutdown()
+	})
+	if err := s.Run(); err != nil {
+		panic("evaluator: oltp warmup: " + err.Error())
+	}
+	for _, n := range d.Nodes() {
+		snap.nodes = append(snap.nodes, nodeWarmState{db: n.DB.Snapshot(), buf: n.Buf.Snapshot()})
+	}
+	if d.Remote != nil {
+		rs := d.Remote.Snapshot()
+		snap.remote = &rs
+	}
+	snap.col = col.Snapshot()
+	return snap
+}
+
+// RunOLTP measures steady-state throughput for one configuration. It always
+// runs two phases — warm-up (possibly memoized via cfg.Warm) and measurement
+// forked from the warm-up snapshot — so a cached and an uncached run produce
+// byte-identical results.
+func RunOLTP(cfg OLTPConfig) OLTPResult {
+	cfg = cfg.withDefaults()
+	var snap *WarmSnapshot
+	if cfg.Warm != nil && cfg.Tracer == nil {
+		snap = cfg.Warm.get(cfg.warmKey(), func() *WarmSnapshot { return runWarmup(cfg) })
+	} else {
+		snap = runWarmup(cfg)
+	}
+
+	// Measurement phase: a fresh cluster restored from the snapshot, on a
+	// virtual clock pre-advanced to the snapshot offset so every window and
+	// timestamp reads as if the warm-up had run in this simulation.
+	s := sim.NewAt(simEpoch, snap.offset)
+	d := oltpDeploy(s, cfg, false)
+	nodes := d.Nodes()
+	if len(nodes) != len(snap.nodes) {
+		panic("evaluator: oltp restore: node count mismatch")
+	}
+	for i, n := range nodes {
+		if err := n.DB.Restore(snap.nodes[i].db); err != nil {
+			panic("evaluator: oltp restore: " + err.Error())
+		}
+		n.Buf.Restore(snap.nodes[i].buf)
+	}
+	if d.Remote != nil && snap.remote != nil {
+		d.Remote.Restore(*snap.remote)
+	}
+	col := core.NewCollector()
+	col.Restore(snap.col)
 	r := core.NewRunner(s, core.Config{
 		Name: "oltp", Seed: cfg.Seed, Mix: cfg.Mix,
 		Distribution: cfg.Distribution,
@@ -104,7 +207,7 @@ func RunOLTP(cfg OLTPConfig) OLTPResult {
 	})
 	s.Go("ctl", func(p *sim.Proc) {
 		r.SetConcurrency(cfg.Concurrency)
-		p.Sleep(cfg.Warmup + cfg.Measure)
+		p.Sleep(cfg.Measure)
 		r.Stop()
 		r.Wait(p)
 		d.Shutdown()
@@ -113,7 +216,7 @@ func RunOLTP(cfg OLTPConfig) OLTPResult {
 		panic("evaluator: oltp run: " + err.Error())
 	}
 
-	from, to := cfg.Warmup, cfg.Warmup+cfg.Measure
+	from, to := snap.offset, snap.offset+cfg.Measure
 	perMin := pricing.PerMinuteBreakdown(d.ClusterPackage())
 	res := OLTPResult{
 		Kind: cfg.Kind, SF: cfg.SF, Mix: cfg.Mix, Concurrency: cfg.Concurrency,
@@ -139,6 +242,9 @@ type E2Config struct {
 	Warmup      time.Duration
 	Measure     time.Duration
 	Seed        int64
+	// Warm forwards to OLTPConfig.Warm (each replica count is its own
+	// WarmKey, so cells memoize per deployment shape).
+	Warm *WarmCache
 }
 
 // E2Result holds TPS per replica count and the resulting score.
@@ -166,6 +272,7 @@ func RunE2(cfg E2Config) E2Result {
 			Kind: cfg.Kind, SF: cfg.SF, Mix: cfg.Mix,
 			Concurrency: cfg.Concurrency, Replicas: n,
 			Warmup: cfg.Warmup, Measure: cfg.Measure, Seed: cfg.Seed,
+			Warm: cfg.Warm,
 		})
 		res.TPS = append(res.TPS, r.TPS)
 	}

@@ -31,6 +31,8 @@ type OverallConfig struct {
 	FailConc     int
 	// LagDuration sizes the lag sub-run (default 4s).
 	LagDuration time.Duration
+	// Warm forwards to the OLTP and E2 sub-runs' warm-up memoization.
+	Warm *WarmCache
 }
 
 func (c OverallConfig) withDefaults() OverallConfig {
@@ -90,6 +92,7 @@ func RunOverall(cfg OverallConfig) OverallResult {
 	res.OLTP = RunOLTP(OLTPConfig{
 		Kind: cfg.Kind, SF: cfg.SF, Mix: core.MixReadWrite,
 		Concurrency: cfg.Concurrency, Measure: cfg.Measure, Seed: cfg.Seed,
+		Warm: cfg.Warm,
 	})
 	res.Scores.System = string(cfg.Kind)
 	res.Scores.SF = float64(cfg.SF)
@@ -151,6 +154,7 @@ func RunOverall(cfg OverallConfig) OverallResult {
 	res.E2 = RunE2(E2Config{
 		Kind: cfg.Kind, SF: cfg.SF, Mix: core.MixReadOnly,
 		Concurrency: cfg.Concurrency, Measure: cfg.Measure, Seed: cfg.Seed,
+		Warm: cfg.Warm,
 	})
 	res.Scores.E2 = res.E2.E2Score
 	return res

@@ -1,0 +1,82 @@
+package evaluator
+
+import (
+	"testing"
+	"time"
+
+	"cloudybench/internal/cdb"
+	"cloudybench/internal/core"
+)
+
+// TestWarmCacheHitMatchesMissMatchesUncached pins the memoization contract:
+// a cache miss (first cell), a cache hit (second identical cell), and a
+// fully uncached run must all produce byte-identical results — the cache
+// may only save wall-clock, never perturb the measurement.
+func TestWarmCacheHitMatchesMissMatchesUncached(t *testing.T) {
+	base := OLTPConfig{
+		Kind: cdb.CDB1, SF: 1, Mix: core.MixReadWrite, Concurrency: 12,
+		Warmup: 500 * time.Millisecond, Measure: time.Second, Seed: 7,
+	}
+	uncached := RunOLTP(base)
+
+	cache := NewWarmCache()
+	cached := base
+	cached.Warm = cache
+	miss := RunOLTP(cached)
+	hit := RunOLTP(cached)
+
+	if miss != uncached {
+		t.Errorf("cache miss result differs from uncached run:\nmiss:     %+v\nuncached: %+v", miss, uncached)
+	}
+	if hit != uncached {
+		t.Errorf("cache hit result differs from uncached run:\nhit:      %+v\nuncached: %+v", hit, uncached)
+	}
+	if req, comp := cache.Stats(); req != 2 || comp != 1 {
+		t.Errorf("cache stats = %d requests / %d computed, want 2/1", req, comp)
+	}
+
+	// A different measure window shares the warm key: the warm-up must be
+	// reused (computed stays 1) and the longer run still measures real work.
+	longer := cached
+	longer.Measure = 2 * time.Second
+	lr := RunOLTP(longer)
+	if req, comp := cache.Stats(); req != 3 || comp != 1 {
+		t.Errorf("cache stats after shared-key reuse = %d/%d, want 3/1", req, comp)
+	}
+	if lr.TPS <= 0 {
+		t.Errorf("reused-warm-up run measured no throughput: %+v", lr)
+	}
+
+	// A different seed is a different warm key and must recompute.
+	other := cached
+	other.Seed = 8
+	RunOLTP(other)
+	if req, comp := cache.Stats(); req != 4 || comp != 2 {
+		t.Errorf("cache stats after distinct key = %d/%d, want 4/2", req, comp)
+	}
+}
+
+// BenchmarkWarmupMemo quantifies the tentpole's sweep-level win: a
+// three-cell sweep sharing one warm key, with and without memoization. The
+// memoized variant pays one warm-up per iteration instead of three.
+func BenchmarkWarmupMemo(b *testing.B) {
+	cells := func(warm *WarmCache) {
+		for _, measure := range []time.Duration{400, 800, 1200} {
+			RunOLTP(OLTPConfig{
+				Kind: cdb.CDB1, SF: 1, Mix: core.MixReadWrite, Concurrency: 12,
+				Warmup: time.Second, Measure: measure * time.Millisecond,
+				Seed: 7, Warm: warm,
+			})
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cells(nil)
+		}
+	})
+	b.Run("memoized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cells(NewWarmCache()) // fresh cache per iteration: 1 warm-up, 3 cells
+		}
+	})
+}

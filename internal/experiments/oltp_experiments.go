@@ -22,6 +22,7 @@ func Figure5(sc Scale) (string, []evaluator.OLTPResult) {
 					cfgs = append(cfgs, evaluator.OLTPConfig{
 						Kind: kind, SF: sf, Mix: mix.Mix, Concurrency: con,
 						Warmup: sc.Warmup, Measure: sc.Measure, Seed: sc.Seed,
+						Warm: warmCache,
 					})
 				}
 			}
@@ -74,6 +75,7 @@ func TableV(sc Scale) (string, []evaluator.OLTPResult) {
 			cfgs = append(cfgs, evaluator.OLTPConfig{
 				Kind: kind, SF: 1, Mix: mix.Mix, Concurrency: con,
 				Warmup: sc.Warmup, Measure: sc.Measure, Seed: sc.Seed,
+				Warm: warmCache,
 			})
 		}
 	}
@@ -120,6 +122,7 @@ func Figure8(sc Scale) (string, []evaluator.OLTPResult) {
 				Kind: kind, SF: 10, Mix: core.MixReadWrite, Concurrency: con,
 				Warmup: sc.Warmup, Measure: sc.Measure, Seed: sc.Seed,
 				BufferBytes: buf,
+				Warm:        warmCache,
 			})
 		}
 	}

@@ -153,6 +153,7 @@ func TableIX(sc Scale) (string, []evaluator.OverallResult) {
 			Tau: sc.Tau, Seed: sc.Seed,
 			FailBaseline: sc.FailBaseline, FailTimeout: sc.FailTimeout, FailConc: sc.FailConc,
 			LagDuration: sc.LagDuration,
+			Warm:        warmCache,
 		})
 	})
 	tbl := report.NewTable("Table IX — Overall performance (PERFECT framework)",

@@ -204,6 +204,40 @@ func (c *Counter) Add(at time.Duration, n int64) {
 // Total returns the total event count.
 func (c *Counter) Total() int64 { return c.total }
 
+// CounterSnapshot is a point-in-time capture of a Counter (warm-up
+// memoization).
+type CounterSnapshot struct {
+	bucket  time.Duration
+	counts  []int64
+	total   int64
+	firstAt time.Duration
+	lastAt  time.Duration
+	any     bool
+}
+
+// Snapshot captures the counter's current state.
+func (c *Counter) Snapshot() CounterSnapshot {
+	return CounterSnapshot{
+		bucket:  c.bucket,
+		counts:  append([]int64(nil), c.counts...),
+		total:   c.total,
+		firstAt: c.firstAt,
+		lastAt:  c.lastAt,
+		any:     c.any,
+	}
+}
+
+// Restore resets the counter to a snapshot. The bucket slice is copied so
+// counters restored from one snapshot accumulate independently.
+func (c *Counter) Restore(snap CounterSnapshot) {
+	c.bucket = snap.bucket
+	c.counts = append(c.counts[:0:0], snap.counts...)
+	c.total = snap.total
+	c.firstAt = snap.firstAt
+	c.lastAt = snap.lastAt
+	c.any = snap.any
+}
+
 // CountIn returns the number of events recorded in [from, to), counted at
 // bucket granularity (partial buckets are attributed by bucket start).
 func (c *Counter) CountIn(from, to time.Duration) int64 {
@@ -302,6 +336,32 @@ func (r *Reservoir) Add(d time.Duration) {
 
 // Count returns the number of samples.
 func (r *Reservoir) Count() int { return len(r.samples) }
+
+// ReservoirSnapshot is a point-in-time capture of a Reservoir (warm-up
+// memoization). The sample order is preserved, not just the distribution, so
+// a restored reservoir's lazy sort produces byte-identical quantiles.
+type ReservoirSnapshot struct {
+	samples []time.Duration
+	sorted  bool
+	sum     time.Duration
+}
+
+// Snapshot captures the reservoir's current state.
+func (r *Reservoir) Snapshot() ReservoirSnapshot {
+	return ReservoirSnapshot{
+		samples: append([]time.Duration(nil), r.samples...),
+		sorted:  r.sorted,
+		sum:     r.sum,
+	}
+}
+
+// Restore resets the reservoir to a snapshot. Samples are copied so
+// reservoirs restored from one snapshot grow (and sort) independently.
+func (r *Reservoir) Restore(snap ReservoirSnapshot) {
+	r.samples = append(r.samples[:0:0], snap.samples...)
+	r.sorted = snap.sorted
+	r.sum = snap.sum
+}
 
 // Mean returns the average latency, or zero with no samples.
 func (r *Reservoir) Mean() time.Duration {

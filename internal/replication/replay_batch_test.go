@@ -1,0 +1,107 @@
+package replication
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"cloudybench/internal/engine"
+	"cloudybench/internal/meter"
+	"cloudybench/internal/sim"
+	"cloudybench/internal/storage"
+)
+
+// TestReplayBatchMatchesSerialApply is the batched-replay equivalence
+// contract: replaying a ship batch in one pass (coalesced CPU sleep,
+// analytic per-record apply instants, DB.ApplyBatch) must be observationally
+// identical to the old record-at-a-time path — same applied LSN and counts,
+// same per-DML lag reservoirs sample for sample, same replica contents.
+// serialApply is the retained test knob that forces the old path.
+func TestReplayBatchMatchesSerialApply(t *testing.T) {
+	type outcome struct {
+		appliedLSN storage.LSN
+		shipped    int64
+		applied    int64
+		lags       [3][]time.Duration // insert, update, delete samples in order
+		rows       string
+	}
+	run := func(serial bool, lanes int) outcome {
+		s := sim.New(epoch)
+		rw, _, st, tbl, rtbl := setup(s, Config{
+			Name: "r", BatchInterval: 10 * time.Millisecond, Lanes: lanes,
+			PerRecord: 20 * time.Microsecond,
+		})
+		st.serialApply = serial
+		s.Go("writer", func(p *sim.Proc) {
+			next := int64(1001)
+			for i := 0; i < 60; i++ {
+				tx, _ := rw.Begin(p)
+				switch i % 3 {
+				case 0:
+					tx.Insert(tbl, engine.Row{engine.Int(next), engine.Str("NEW")})
+					next++
+				case 1:
+					tx.Update(tbl, engine.IntKey(int64(i)+1),
+						engine.Row{engine.Int(int64(i) + 1), engine.Str("PAID")})
+				case 2:
+					tx.Delete(tbl, engine.IntKey(int64(i)+200))
+				}
+				tx.Commit()
+				p.Sleep(time.Duration(1+i%7) * time.Millisecond)
+			}
+			p.Sleep(2 * time.Second) // drain
+			st.Stop()
+		})
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		out := outcome{appliedLSN: st.AppliedLSN()}
+		out.shipped, out.applied = st.Counts()
+		if st.Backlog() != 0 {
+			t.Fatalf("serial=%v lanes=%d: backlog not drained", serial, lanes)
+		}
+		ins, upd, del := st.LagReservoirs()
+		for i, res := range []*meter.Reservoir{ins, upd, del} {
+			n := res.Count()
+			for q := 0; q <= n; q++ {
+				out.lags[i] = append(out.lags[i], res.Quantile(float64(q)/float64(n+1)))
+			}
+			out.lags[i] = append(out.lags[i], res.Mean())
+		}
+		for id := int64(1); id < 1100; id++ {
+			row, _, ok := rtbl.Get(engine.IntKey(id))
+			out.rows += fmt.Sprintf("%d:%v:%v;", id, ok, row)
+		}
+		return out
+	}
+
+	for _, lanes := range []int{1, 3} {
+		serial := run(true, lanes)
+		batched := run(false, lanes)
+		if serial.appliedLSN != batched.appliedLSN {
+			t.Errorf("lanes=%d: applied LSN %d (serial) != %d (batched)",
+				lanes, serial.appliedLSN, batched.appliedLSN)
+		}
+		if serial.shipped != batched.shipped || serial.applied != batched.applied {
+			t.Errorf("lanes=%d: counts %d/%d (serial) != %d/%d (batched)", lanes,
+				serial.shipped, serial.applied, batched.shipped, batched.applied)
+		}
+		for i, name := range []string{"insert", "update", "delete"} {
+			if len(serial.lags[i]) != len(batched.lags[i]) {
+				t.Errorf("lanes=%d %s: %d lag samples (serial) != %d (batched)",
+					lanes, name, len(serial.lags[i]), len(batched.lags[i]))
+				continue
+			}
+			for j := range serial.lags[i] {
+				if serial.lags[i][j] != batched.lags[i][j] {
+					t.Errorf("lanes=%d %s lag stat %d: %v (serial) != %v (batched)",
+						lanes, name, j, serial.lags[i][j], batched.lags[i][j])
+					break
+				}
+			}
+		}
+		if serial.rows != batched.rows {
+			t.Errorf("lanes=%d: replica contents diverge between serial and batched replay", lanes)
+		}
+	}
+}

@@ -90,6 +90,14 @@ type Stream struct {
 	applied     int64
 	dropCounter int64 // DropEveryNth bookkeeping (test-only fault)
 
+	// serialApply forces the pre-batching record-at-a-time replay path.
+	// Test-only: the replay-batch equivalence test proves both paths yield
+	// identical AppliedLSN and lag reservoirs on a quiet stream.
+	serialApply bool
+	// recScratch collects a batch's surviving records for the engine's
+	// batched apply; reused across batches.
+	recScratch []storage.Record
+
 	lagInsert *meter.Reservoir
 	lagUpdate *meter.Reservoir
 	lagDelete *meter.Reservoir
@@ -97,6 +105,10 @@ type Stream struct {
 
 type laneState struct {
 	queue []envelope
+	// spare is the double-buffer for the batched replay loop: the replayer
+	// takes the whole queue, swaps in the (empty) spare so the shipper can
+	// keep appending, and retires the applied batch as the next spare.
+	spare []envelope
 	cond  *sim.Cond
 }
 
@@ -202,30 +214,118 @@ func (st *Stream) replayLoop(p *sim.Proc, laneID int) {
 			}
 			lane.cond.Wait(p)
 		}
-		env := lane.queue[0]
-		lane.queue = lane.queue[1:]
-		st.replaying++
-		st.applyOne(p, env)
-		st.replaying--
+		if st.serialApply {
+			env := lane.queue[0]
+			lane.queue = lane.queue[1:]
+			st.replaying++
+			st.applyOne(p, env)
+			st.replaying--
+			continue
+		}
+		batch := lane.queue
+		lane.queue = lane.spare[:0]
+		st.replaying += len(batch)
+		st.replayBatch(p, batch)
+		st.replaying -= len(batch)
+		lane.spare = batch[:0]
 	}
 }
 
-// applyOne pays the replay cost for one record and applies it to the
-// replica. Shared by the lane replay loops and DrainPending.
-func (st *Stream) applyOne(p *sim.Proc, env envelope) {
+// recordCost returns the replay service time of one record.
+func (st *Stream) recordCost(typ storage.RecType) time.Duration {
+	switch typ {
+	case storage.RecDelete:
+		return time.Duration(float64(st.cfg.PerRecord) * st.cfg.DeleteFactor)
+	case storage.RecInsert, storage.RecUpdate:
+		return st.cfg.PerRecord
+	default:
+		return 0 // commit/begin markers replay for free
+	}
+}
+
+// dropRecord implements the DropEveryNth test-only fault.
+func (st *Stream) dropRecord(typ storage.RecType) bool {
+	n := st.cfg.DropEveryNth
+	if n <= 0 || typ == storage.RecCommit {
+		return false
+	}
+	st.dropCounter++
+	return st.dropCounter%int64(n) == 0
+}
+
+// replayBatch replays a whole lane batch: one Down check, one coalesced
+// sleep for the summed per-record service times, then every surviving record
+// applied through the engine's batched path. Each record's nominal apply
+// instant is the batch start plus its prefix cost — exactly where the
+// record-at-a-time loop would have applied it — so lag samples and tracer
+// spans are byte-identical to serial replay on a quiet stream (the one
+// observable divergence: a replica going Down mid-batch pauses serial replay
+// between records, while a batch in flight completes first). The post-sleep
+// section never yields, so no other process can observe the intermediate
+// ordering of applies and OnApply hooks.
+func (st *Stream) replayBatch(p *sim.Proc, batch []envelope) {
 	// A down replica buffers the backlog; replay resumes (and catches
 	// up) once the node restarts, extending recovery realistically.
 	for st.replica.State() == node.Down {
 		p.Sleep(100 * time.Millisecond)
 	}
-	cost := st.cfg.PerRecord
-	switch env.rec.Type {
-	case storage.RecDelete:
-		cost = time.Duration(float64(cost) * st.cfg.DeleteFactor)
-	case storage.RecInsert, storage.RecUpdate:
-	default:
-		cost = 0 // commit/begin markers replay for free
+	start := p.Elapsed()
+	total := time.Duration(0)
+	for i := range batch {
+		total += st.recordCost(batch[i].rec.Type)
 	}
+	if total > 0 {
+		p.Sleep(total)
+	}
+	tr := st.cfg.Tracer
+	recs := st.recScratch[:0]
+	at := start
+	for i := range batch {
+		env := &batch[i]
+		cost := st.recordCost(env.rec.Type)
+		at += cost
+		if cost > 0 && tr != nil {
+			tr.RecordBG("replication", obs.KindStorageReplay, st.cfg.Name, at-cost, at)
+		}
+		if st.dropRecord(env.rec.Type) {
+			st.applied++
+			continue
+		}
+		recs = append(recs, env.rec)
+		st.applied++
+		if env.rec.LSN > st.appliedLSN {
+			st.appliedLSN = env.rec.LSN
+		}
+		lag := at - env.committedAt
+		switch env.rec.Type {
+		case storage.RecInsert:
+			st.lagInsert.Add(lag)
+		case storage.RecUpdate:
+			st.lagUpdate.Add(lag)
+		case storage.RecDelete:
+			st.lagDelete.Add(lag)
+		}
+	}
+	st.recScratch = recs
+	if err := st.replica.DB.ApplyBatch(recs); err != nil {
+		panic("replication: " + err.Error())
+	}
+	if st.OnApply != nil {
+		for i := range recs {
+			if recs[i].Type != storage.RecCommit {
+				st.OnApply(recs[i])
+			}
+		}
+	}
+}
+
+// applyOne pays the replay cost for one record and applies it to the
+// replica. Shared by the serial replay path and DrainPending.
+func (st *Stream) applyOne(p *sim.Proc, env envelope) {
+	for st.replica.State() == node.Down {
+		p.Sleep(100 * time.Millisecond)
+	}
+	cost := st.recordCost(env.rec.Type)
 	if cost > 0 {
 		tr := st.cfg.Tracer
 		if tr == nil {
@@ -236,12 +336,9 @@ func (st *Stream) applyOne(p *sim.Proc, env envelope) {
 			tr.RecordBG("replication", obs.KindStorageReplay, st.cfg.Name, t0, p.Elapsed())
 		}
 	}
-	if n := st.cfg.DropEveryNth; n > 0 && env.rec.Type != storage.RecCommit {
-		st.dropCounter++
-		if st.dropCounter%int64(n) == 0 {
-			st.applied++
-			return
-		}
+	if st.dropRecord(env.rec.Type) {
+		st.applied++
+		return
 	}
 	if err := st.replica.DB.Apply(env.rec); err != nil {
 		panic("replication: " + err.Error())

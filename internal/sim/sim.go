@@ -142,7 +142,16 @@ func (s *Sim) heapPop() event {
 
 // New returns a simulation whose virtual clock starts at the given epoch.
 func New(start time.Time) *Sim {
-	s := &Sim{start: start, procs: make(map[*Proc]struct{})}
+	return NewAt(start, 0)
+}
+
+// NewAt returns a simulation whose virtual clock starts at the given epoch
+// with elapsed virtual time already on the clock. Memoized warm-up forks use
+// it so a measurement phase resumed from a snapshot reads the same Elapsed()
+// values — and therefore stamps the same windows and timestamps — as the
+// continuous run it replaces.
+func NewAt(start time.Time, elapsed time.Duration) *Sim {
+	s := &Sim{start: start, now: elapsed, procs: make(map[*Proc]struct{})}
 	s.termCond = sync.NewCond(&s.mu)
 	return s
 }

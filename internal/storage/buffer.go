@@ -211,6 +211,43 @@ func (b *BufferPool) Resize(capacity int) int {
 	return dirtyEvicted
 }
 
+// BufSnapshot is a point-in-time capture of a BufferPool: residency and
+// recency order, dirty flags, capacity, and cumulative stats (warm-up
+// memoization).
+type BufSnapshot struct {
+	capacity int
+	entries  []bufEntry // MRU first
+	hits     int64
+	misses   int64
+	evicted  int64
+	flushed  int64
+}
+
+// Snapshot captures the pool's current state.
+func (b *BufferPool) Snapshot() BufSnapshot {
+	s := BufSnapshot{
+		capacity: b.capacity,
+		hits:     b.hits, misses: b.misses, evicted: b.evicted, flushed: b.flushed,
+	}
+	for el := b.lru.Front(); el != nil; el = el.Next() {
+		s.entries = append(s.entries, *el.Value.(*bufEntry))
+	}
+	return s
+}
+
+// Restore resets the pool to a snapshot, rebuilding the LRU list so that
+// pools restored from the same snapshot evolve independently.
+func (b *BufferPool) Restore(snap BufSnapshot) {
+	b.capacity = snap.capacity
+	b.pages = make(map[PageID]*list.Element, len(snap.entries))
+	b.lru.Init()
+	for i := range snap.entries {
+		ent := snap.entries[i]
+		b.pages[ent.id] = b.lru.PushBack(&ent)
+	}
+	b.hits, b.misses, b.evicted, b.flushed = snap.hits, snap.misses, snap.evicted, snap.flushed
+}
+
 // Stats returns cumulative hit/miss/eviction/flush counts.
 func (b *BufferPool) Stats() (hits, misses, evicted, flushed int64) {
 	return b.hits, b.misses, b.evicted, b.flushed

@@ -206,6 +206,28 @@ func (l *Log) TruncateBefore(lsn LSN) {
 	l.firstLSN = lsn
 }
 
+// LogSnapshot is a point-in-time capture of a Log (warm-up memoization).
+// The record entries are shared with the source log — records are immutable
+// once appended, so aliasing is safe.
+type LogSnapshot struct {
+	firstLSN LSN
+	records  []Record
+	bytes    int64
+}
+
+// Snapshot captures the log's current state.
+func (l *Log) Snapshot() LogSnapshot {
+	return LogSnapshot{firstLSN: l.firstLSN, records: l.records[:len(l.records):len(l.records)], bytes: l.bytes}
+}
+
+// Restore resets the log to a snapshot. The record slice is copied so that
+// multiple logs restored from one snapshot append independently.
+func (l *Log) Restore(snap LogSnapshot) {
+	l.firstLSN = snap.firstLSN
+	l.records = append([]Record(nil), snap.records...)
+	l.bytes = snap.bytes
+}
+
 // Len returns the number of retained records.
 func (l *Log) Len() int { return len(l.records) }
 
