@@ -273,7 +273,7 @@ func (db *DB) newRow(n int) Row {
 	}
 	off := len(db.valSlab)
 	db.valSlab = db.valSlab[:off+n]
-	return Row(db.valSlab[off:off : off+n])
+	return Row(db.valSlab[off : off : off+n])
 }
 
 // uvarintLen returns the encoded size of v as a uvarint.

@@ -1,0 +1,189 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// cache.go persists per-package function summaries between runs so CI and
+// repeat local runs skip the interprocedural walk for unchanged subtrees.
+// The key for a package is a Merkle hash: its own file names and contents
+// plus the keys of its in-module imports, so editing any file invalidates
+// exactly the packages that can observe the edit (the edited package and
+// everything above it in the import DAG) and nothing else.
+//
+// Entries are tiny JSON maps (function full name → hazard chains); a
+// corrupt, truncated, or version-skewed entry is treated as a miss, never
+// an error — the cache can only make a run faster, not change its answer.
+
+// summaryCacheVersion salts every key alongside toolSalt (a hash of the
+// running binary) — the version names the schema, the binary hash catches
+// every semantic change without anyone remembering to bump anything.
+const summaryCacheVersion = "detlint-summary-v1"
+
+// toolSalt hashes the executable running the analysis, so rebuilding
+// detlint (or the test binary) invalidates the whole cache: summaries are
+// a function of the extraction logic as much as of the source they
+// summarize. Falls back to the bare version string if the binary cannot
+// be read (caching then survives only schema-compatible runs).
+var toolSalt = sync.OnceValue(func() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return summaryCacheVersion
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return summaryCacheVersion
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return summaryCacheVersion
+	}
+	return hex.EncodeToString(h.Sum(nil))
+})
+
+// configFingerprint folds the config fields that shape summaries and
+// package gates into the cache key, so two runs over the same files under
+// different configs (the fixture tests do this) never share entries.
+func configFingerprint(cfg *Config) string {
+	h := sha256.New()
+	for _, list := range [][]string{cfg.Deterministic, cfg.RandExempt, cfg.Kernel, cfg.Emitters, cfg.ProcTypes} {
+		fmt.Fprintln(h, list)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// summaryCache is a directory of per-package summary files.
+type summaryCache struct {
+	dir string
+}
+
+// openSummaryCache returns a cache rooted at dir, or at the user cache
+// directory when dir is empty (the DETLINT_CACHE environment variable
+// overrides both). A nil cache is returned when no writable location
+// exists; callers treat nil as "caching disabled".
+func openSummaryCache(dir string) *summaryCache {
+	if env := os.Getenv("DETLINT_CACHE"); env != "" {
+		dir = env
+	}
+	if dir == "" {
+		base, err := os.UserCacheDir()
+		if err != nil {
+			return nil
+		}
+		dir = filepath.Join(base, "cloudybench-detlint")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil
+	}
+	return &summaryCache{dir: dir}
+}
+
+// packageKey computes the Merkle key for pkg given the already-computed
+// keys of its in-module dependencies (depKeys, keyed by import path).
+// Dependencies outside the module (the standard library) are classified
+// by fixed primitive tables compiled into the linter, so the version salt
+// covers them.
+func (c *summaryCache) packageKey(cfg *Config, pkg *Package, depKeys map[string]string) string {
+	h := sha256.New()
+	fmt.Fprintln(h, summaryCacheVersion)
+	fmt.Fprintln(h, toolSalt())
+	fmt.Fprintln(h, configFingerprint(cfg))
+	fmt.Fprintln(h, pkg.PkgPath)
+
+	ents, err := os.ReadDir(pkg.Dir)
+	if err == nil {
+		for _, e := range ents {
+			name := e.Name()
+			if e.IsDir() || filepath.Ext(name) != ".go" {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(pkg.Dir, name))
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(h, "file %s %d\n", name, len(data))
+			h.Write(data)
+		}
+	}
+
+	var deps []string
+	for _, imp := range pkg.Types.Imports() {
+		if k, ok := depKeys[imp.Path()]; ok {
+			deps = append(deps, imp.Path()+"="+k)
+		}
+	}
+	sort.Strings(deps)
+	for _, d := range deps {
+		fmt.Fprintln(h, "dep", d)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// cacheEntry is the serialized form: function full name → hazard name →
+// witness chain.
+type cacheEntry map[string]map[string][]string
+
+func (c *summaryCache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// load returns the summaries stored under key, or ok=false on any miss or
+// decode problem.
+func (c *summaryCache) load(key string) (map[string]*FuncSummary, bool) {
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	var entry cacheEntry
+	if err := json.Unmarshal(data, &entry); err != nil {
+		return nil, false
+	}
+	out := make(map[string]*FuncSummary, len(entry))
+	for name, chains := range entry {
+		fs := &FuncSummary{}
+		for hname, chain := range chains {
+			h, ok := hazardByName(hname)
+			if !ok {
+				return nil, false // future hazard kind: treat as miss
+			}
+			fs.Chains[h] = chain
+		}
+		out[name] = fs
+	}
+	return out, true
+}
+
+// store writes the summaries under key. Failures are ignored: a read-only
+// cache directory degrades to cold runs, not errors.
+func (c *summaryCache) store(key string, sums map[string]*FuncSummary) {
+	entry := make(cacheEntry, len(sums))
+	for name, fs := range sums {
+		chains := make(map[string][]string)
+		for h := Hazard(0); h < numHazards; h++ {
+			if fs.Chains[h] != nil {
+				chains[h.Name()] = fs.Chains[h]
+			}
+		}
+		if len(chains) > 0 {
+			entry[name] = chains
+		}
+	}
+	data, err := json.Marshal(entry)
+	if err != nil {
+		return
+	}
+	tmp := c.path(key) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, c.path(key))
+}

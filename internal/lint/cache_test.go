@@ -1,0 +1,161 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cloudybench/internal/lint"
+)
+
+// chainDiags runs the wallclock analyzer over the cross-package chain
+// fixture with the summary cache rooted at cacheDir, returning the
+// diagnostics and the cache counters. Each call uses a fresh loader, so
+// nothing is shared between runs except the cache directory.
+func chainDiags(t *testing.T, cacheDir string) ([]lint.Diagnostic, *lint.Summaries) {
+	t.Helper()
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	helper, err := loader.LoadDir(filepath.Join("testdata", "src", "chainhelper"), "chainhelper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "src", "chain"), "chain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sums *lint.Summaries
+	diags, err := lint.RunOpts(fixtureCfg("chain"), []*lint.Analyzer{lint.WallClock},
+		[]*lint.Package{pkg}, lint.Options{
+			CacheDir:     cacheDir,
+			Universe:     []*lint.Package{helper, pkg},
+			SummariesOut: &sums,
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags, sums
+}
+
+// TestSummaryCache proves the cache is an accelerator, never an oracle:
+// a cold run misses and computes, a warm run hits every package, and both
+// produce byte-identical diagnostics (witness chains survive the JSON
+// round-trip). A corrupted entry silently degrades to a miss.
+func TestSummaryCache(t *testing.T) {
+	cacheDir := t.TempDir()
+
+	cold, coldSums := chainDiags(t, cacheDir)
+	if coldSums.CacheHits != 0 || coldSums.CacheMisses != 2 {
+		t.Fatalf("cold run: %d hits, %d misses; want 0 and 2", coldSums.CacheHits, coldSums.CacheMisses)
+	}
+	if len(cold) == 0 {
+		t.Fatal("chain fixture produced no diagnostics")
+	}
+
+	warm, warmSums := chainDiags(t, cacheDir)
+	if warmSums.CacheHits != 2 || warmSums.CacheMisses != 0 {
+		t.Fatalf("warm run: %d hits, %d misses; want 2 and 0", warmSums.CacheHits, warmSums.CacheMisses)
+	}
+	if len(warm) != len(cold) {
+		t.Fatalf("warm run diagnostics diverge: %d vs %d", len(warm), len(cold))
+	}
+	for i := range warm {
+		if warm[i].String() != cold[i].String() {
+			t.Errorf("diagnostic %d diverges:\ncold: %s\nwarm: %s", i, cold[i], warm[i])
+		}
+	}
+
+	// Corrupt every entry: the next run must recompute (misses), not fail.
+	ents, err := os.ReadDir(cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if err := os.WriteFile(filepath.Join(cacheDir, e.Name()), []byte("not json"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec, recSums := chainDiags(t, cacheDir)
+	if recSums.CacheMisses != 2 {
+		t.Fatalf("corrupted cache: %d misses; want 2", recSums.CacheMisses)
+	}
+	if len(rec) != len(cold) {
+		t.Errorf("post-corruption diagnostics diverge: %d vs %d", len(rec), len(cold))
+	}
+}
+
+// TestCacheInvalidatesOnEdit proves Merkle keying: editing a leaf package
+// invalidates it and its dependents, and the recomputed chain reflects
+// the edit.
+func TestCacheInvalidatesOnEdit(t *testing.T) {
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Copy both fixtures into a temp tree we can edit.
+	tmp := t.TempDir()
+	for _, name := range []string{"chainhelper", "chain"} {
+		if err := os.MkdirAll(filepath.Join(tmp, name), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		src, err := os.ReadFile(filepath.Join("testdata", "src", name, name+".go"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(tmp, name, name+".go"), src, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cacheDir := t.TempDir()
+	run := func() *lint.Summaries {
+		loader, err := lint.NewLoader(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		helper, err := loader.LoadDir(filepath.Join(tmp, "chainhelper"), "chainhelper")
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkg, err := loader.LoadDir(filepath.Join(tmp, "chain"), "chain")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sums *lint.Summaries
+		if _, err := lint.RunOpts(fixtureCfg("chain"), []*lint.Analyzer{lint.WallClock},
+			[]*lint.Package{pkg}, lint.Options{
+				CacheDir:     cacheDir,
+				Universe:     []*lint.Package{helper, pkg},
+				SummariesOut: &sums,
+			}); err != nil {
+			t.Fatal(err)
+		}
+		return sums
+	}
+
+	if s := run(); s.CacheMisses != 2 {
+		t.Fatalf("cold: want 2 misses, got %d", s.CacheMisses)
+	}
+	if s := run(); s.CacheHits != 2 {
+		t.Fatalf("warm: want 2 hits, got %d", s.CacheHits)
+	}
+
+	// Append a comment to the helper: its key changes, and chain's key
+	// changes transitively (dep keys fold into the Merkle hash).
+	helperFile := filepath.Join(tmp, "chainhelper", "chainhelper.go")
+	src, err := os.ReadFile(helperFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(helperFile, append(src, []byte("\n// edited\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if s := run(); s.CacheMisses != 2 {
+		t.Errorf("after leaf edit: want 2 misses (leaf and dependent), got %d misses %d hits", s.CacheMisses, s.CacheHits)
+	}
+}

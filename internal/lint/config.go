@@ -29,6 +29,11 @@ type Config struct {
 	// maporder: calling into them from a map iteration bakes map order
 	// into rendered bytes.
 	Emitters []string
+	// ProcTypes are the fully-qualified named types whose presence as a
+	// function parameter marks the function as sim-proc context for
+	// vtblock ("pkg/path.TypeName"; a pointer to the type matches).
+	// Default: the DES kernel's Proc.
+	ProcTypes []string
 }
 
 // DefaultConfig returns the repository's determinism contract. Everything
@@ -70,6 +75,7 @@ func DefaultConfig() *Config {
 		},
 		RandExempt: []string{"cloudybench/internal/rng"},
 		Kernel:     []string{"cloudybench/internal/sim"},
+		ProcTypes:  []string{"cloudybench/internal/sim.Proc"},
 		Emitters: []string{
 			"cloudybench/internal/report",
 			"cloudybench/internal/obs",
@@ -118,6 +124,7 @@ type suppression struct {
 	reason string
 	line   int
 	pos    token.Pos
+	end    token.Pos
 }
 
 // collectSuppressions parses every //detlint:allow comment in the files.
@@ -129,6 +136,12 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File, known map[strin
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				if !strings.HasPrefix(c.Text, "//detlint:") {
+					continue
+				}
+				// hotpath/coldpath are annotations consumed by the hotalloc
+				// analyzer, not suppressions; anything else under the
+				// //detlint: prefix must parse as an allow.
+				if t := strings.TrimSpace(c.Text); t == hotpathMarker || t == coldpathMarker {
 					continue
 				}
 				m := suppressionRe.FindStringSubmatch(c.Text)
@@ -157,6 +170,7 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File, known map[strin
 					reason: reason,
 					line:   fset.Position(c.Pos()).Line,
 					pos:    c.Pos(),
+					end:    c.End(),
 				})
 			}
 		}
@@ -164,19 +178,29 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File, known map[strin
 	return out
 }
 
-// suppressed reports whether d is covered by a suppression: same rule, same
-// file, and the comment sits on the diagnostic's line or the line above.
-func suppressed(d Diagnostic, sups []suppression, fset *token.FileSet) bool {
-	for _, s := range sups {
+// suppressedBy returns the index of the suppression covering d — same
+// rule, same file, comment on the diagnostic's line or the line above — or
+// -1. The index lets the runner track which suppressions earned their keep
+// (allowstale).
+func suppressedBy(d Diagnostic, sups []suppression, fset *token.FileSet) int {
+	// Exact-line matches win over comment-above matches: a trailing allow on
+	// line N must not also claim line N+1's diagnostic when N+1 carries its
+	// own trailing allow (the staleness audit depends on each suppression
+	// being credited for its own site).
+	above := -1
+	for i, s := range sups {
 		if s.rule != d.Analyzer {
 			continue
 		}
 		if fset.Position(s.pos).Filename != d.Pos.Filename {
 			continue
 		}
-		if s.line == d.Pos.Line || s.line == d.Pos.Line-1 {
-			return true
+		if s.line == d.Pos.Line {
+			return i
+		}
+		if s.line == d.Pos.Line-1 && above < 0 {
+			above = i
 		}
 	}
-	return false
+	return above
 }

@@ -1,0 +1,373 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/format"
+	"go/token"
+	"go/types"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// fix.go is the machine-applicable side of detlint: diagnostics whose
+// resolution is mechanical carry a Fix, and `detlint -fix` applies them —
+// gofmt-clean and idempotent (a second run finds nothing left to do).
+// Two rewrites are mechanical today:
+//
+//   - maporder's collect-then-sort: a flagged `for k, v := range m {...}`
+//     becomes collect keys → slices.Sort → iterate sorted keys, with the
+//     original body preserved verbatim. Only loops whose shape provably
+//     permits it are rewritten (pure map expression, declared ident key of
+//     an ordered type, body that does not touch the map itself).
+//   - allowstale's deletion: a //detlint:allow that suppresses nothing is
+//     removed, taking its whole line along when it stood alone.
+//
+// Everything else stays a human decision.
+
+// TextEdit replaces the byte range [Start, End) of a file with New.
+type TextEdit struct {
+	Start, End int
+	New        string
+	// ExpandLine widens a pure deletion to consume the whole line when
+	// the rest of the line is blank, and any trailing horizontal
+	// whitespace before it otherwise — so removing a comment does not
+	// strand a blank line or trailing spaces.
+	ExpandLine bool
+}
+
+// Fix is one machine-applicable rewrite, confined to a single file.
+type Fix struct {
+	Path  string
+	Edits []TextEdit
+	// AddImports lists import paths the rewritten code needs (e.g.
+	// "slices"); they are inserted only if the file lacks them.
+	AddImports []string
+}
+
+// ApplyFixes applies every diagnostic's Fix, grouped per file, and returns
+// the number of fixes applied and the files rewritten (sorted). Fixes
+// whose edits overlap an already-applied edit in the same file are skipped
+// — re-running detlint surfaces them again on the rewritten tree.
+func ApplyFixes(diags []Diagnostic) (applied int, files []string, err error) {
+	byPath := make(map[string][]*Fix)
+	for i := range diags {
+		if f := diags[i].Fix; f != nil && f.Path != "" {
+			byPath[f.Path] = append(byPath[f.Path], f)
+		}
+	}
+	var paths []string
+	for p := range byPath {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	for _, path := range paths {
+		src, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return applied, files, fmt.Errorf("lint: applying fixes: %w", rerr)
+		}
+		out := src
+		var taken []TextEdit
+		var imports []string
+		n := 0
+		for _, fix := range byPath[path] {
+			if overlapsAny(fix.Edits, taken) {
+				continue
+			}
+			taken = append(taken, fix.Edits...)
+			imports = append(imports, fix.AddImports...)
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		for i := range taken {
+			taken[i] = expandEdit(src, taken[i])
+		}
+		sort.Slice(taken, func(i, j int) bool { return taken[i].Start > taken[j].Start })
+		for _, e := range taken {
+			out = append(out[:e.Start:e.Start], append([]byte(e.New), out[e.End:]...)...)
+		}
+		out = insertImports(out, imports)
+		formatted, ferr := format.Source(out)
+		if ferr != nil {
+			return applied, files, fmt.Errorf("lint: fix for %s produced unparsable code: %w", path, ferr)
+		}
+		info, serr := os.Stat(path)
+		mode := os.FileMode(0o644)
+		if serr == nil {
+			mode = info.Mode().Perm()
+		}
+		if werr := os.WriteFile(path, formatted, mode); werr != nil {
+			return applied, files, fmt.Errorf("lint: writing %s: %w", path, werr)
+		}
+		applied += n
+		files = append(files, path)
+	}
+	return applied, files, nil
+}
+
+func overlapsAny(edits, taken []TextEdit) bool {
+	for _, e := range edits {
+		for _, t := range taken {
+			if e.Start < t.End && t.Start < e.End {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// expandEdit widens an ExpandLine deletion per the TextEdit contract.
+func expandEdit(src []byte, e TextEdit) TextEdit {
+	if !e.ExpandLine || e.New != "" {
+		return e
+	}
+	start, end := e.Start, e.End
+	ls := start
+	for ls > 0 && src[ls-1] != '\n' {
+		ls--
+	}
+	blankBefore := true
+	for i := ls; i < start; i++ {
+		if src[i] != ' ' && src[i] != '\t' {
+			blankBefore = false
+			break
+		}
+	}
+	if blankBefore && (end >= len(src) || src[end] == '\n') {
+		// The comment owns its line: delete line start through newline.
+		start = ls
+		if end < len(src) {
+			end++
+		}
+	} else {
+		// Trailing comment: also eat the whitespace run before it.
+		for start > 0 && (src[start-1] == ' ' || src[start-1] == '\t') {
+			start--
+		}
+	}
+	return TextEdit{Start: start, End: end}
+}
+
+// insertImports adds each missing import path, letting the final gofmt
+// pass (which sorts import specs) settle ordering.
+func insertImports(src []byte, paths []string) []byte {
+	if len(paths) == 0 {
+		return src
+	}
+	seen := make(map[string]bool)
+	s := string(src)
+	for _, p := range paths {
+		if seen[p] || strings.Contains(s, strconv.Quote(p)) {
+			// Already imported (or at minimum the quoted path appears in
+			// an import block — close enough for the stdlib paths fixes
+			// add; gofmt would reject a duplicate spec anyway).
+			continue
+		}
+		seen[p] = true
+		if i := strings.Index(s, "import ("); i >= 0 {
+			at := i + len("import (")
+			s = s[:at] + "\n\t" + strconv.Quote(p) + s[at:]
+			continue
+		}
+		// No import block: add a standalone import after the package
+		// clause (off = start of the clause, so the newline search below
+		// finds the clause's own terminator, not one preceding it).
+		off := 0
+		if !strings.HasPrefix(s, "package ") {
+			i := strings.Index(s, "\npackage ")
+			if i < 0 {
+				continue
+			}
+			off = i + 1
+		}
+		if nl := strings.Index(s[off:], "\n"); nl >= 0 {
+			at := off + nl + 1
+			s = s[:at] + "\nimport " + strconv.Quote(p) + "\n" + s[at:]
+		}
+	}
+	return []byte(s)
+}
+
+// buildMapOrderFix constructs the collect-then-sort rewrite for a flagged
+// map range, or nil when the loop's shape does not provably permit it:
+//
+//	for k, v := range m { body }
+//	  ⇒
+//	keys := make([]K, 0, len(m))
+//	for k := range m {
+//	    keys = append(keys, k)
+//	}
+//	slices.Sort(keys)
+//	for _, k := range keys {
+//	    v := m[k]
+//	    body
+//	}
+//
+// Preconditions: the range expression is a call-free ident/selector chain
+// (safe to evaluate twice), the key is a declared identifier (or blank
+// with a declared value) of an ordered basic type, and the body never
+// mentions the map itself (so deletes/inserts during iteration — whose
+// semantics the rewrite would change — stay manual).
+func buildMapOrderFix(pass *Pass, rng *ast.RangeStmt, encl *ast.BlockStmt, file *ast.File) *Fix {
+	if rng.Key == nil || rng.Tok != token.DEFINE {
+		return nil
+	}
+	mt, ok := pass.Info.Types[rng.X]
+	if !ok {
+		return nil
+	}
+	mapType, ok := mt.Type.Underlying().(*types.Map)
+	if !ok {
+		return nil
+	}
+	keyType := mapType.Key()
+	basic, ok := keyType.Underlying().(*types.Basic)
+	if !ok || basic.Info()&(types.IsInteger|types.IsFloat|types.IsString) == 0 {
+		return nil
+	}
+	// Named key types from other packages would drag a qualifier and an
+	// import along; keep the rewrite to basics and same-package names.
+	keyTypeStr := ""
+	switch kt := keyType.(type) {
+	case *types.Basic:
+		keyTypeStr = kt.Name()
+	case *types.Named:
+		if kt.Obj().Pkg() != pass.Pkg {
+			return nil
+		}
+		keyTypeStr = kt.Obj().Name()
+	default:
+		return nil
+	}
+
+	if !callFree(rng.X) {
+		return nil
+	}
+	mapObj := exprObject(pass.Info, rootAsExpr(rng.X))
+	if mapObj != nil && mentionsObject(pass.Info, rng.Body, mapObj) {
+		return nil
+	}
+
+	keyName := "k"
+	if id, ok := rng.Key.(*ast.Ident); ok {
+		if id.Name != "_" {
+			keyName = id.Name
+		} else if rng.Value == nil {
+			return nil // `for _ := range m` observes nothing orderable
+		}
+	} else {
+		return nil
+	}
+	valName := ""
+	if id, ok := rng.Value.(*ast.Ident); ok && id.Name != "_" {
+		valName = id.Name
+	}
+
+	pos := pass.Fset.Position(rng.Pos())
+	src, err := os.ReadFile(pos.Filename)
+	if err != nil {
+		return nil
+	}
+	off := func(p token.Pos) int { return pass.Fset.Position(p).Offset }
+	mapTxt := string(src[off(rng.X.Pos()):off(rng.X.End())])
+	bodyTxt := string(src[off(rng.Body.Lbrace)+1 : off(rng.Body.Rbrace)])
+	// The braces' interior starts with the original newline; the rewrite
+	// emits its own after the loop header (and the value binding), so keep
+	// only one.
+	bodyTxt = strings.TrimPrefix(bodyTxt, "\n")
+
+	keysName := freshName("keys", pass, encl)
+	if keyName == "_" { // blank key with a declared value
+		keyName = freshName("k", pass, encl)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s := make([]%s, 0, len(%s))\n", keysName, keyTypeStr, mapTxt)
+	fmt.Fprintf(&b, "for %s := range %s {\n%s = append(%s, %s)\n}\n", keyName, mapTxt, keysName, keysName, keyName)
+	fmt.Fprintf(&b, "slices.Sort(%s)\n", keysName)
+	fmt.Fprintf(&b, "for _, %s := range %s {\n", keyName, keysName)
+	if valName != "" {
+		fmt.Fprintf(&b, "%s := %s[%s]\n", valName, mapTxt, keyName)
+	}
+	b.WriteString(bodyTxt)
+	b.WriteString("}")
+
+	fix := &Fix{
+		Path:  pos.Filename,
+		Edits: []TextEdit{{Start: off(rng.Pos()), End: off(rng.End()), New: b.String()}},
+	}
+	if !fileImports(file, "slices") {
+		fix.AddImports = []string{"slices"}
+	}
+	return fix
+}
+
+// callFree reports whether the expression contains no calls, so double
+// evaluation is safe.
+func callFree(e ast.Expr) bool {
+	free := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.CallExpr); ok {
+			free = false
+		}
+		return free
+	})
+	return free
+}
+
+// rootAsExpr unwraps selector/index chains to the base expression for
+// object resolution.
+func rootAsExpr(e ast.Expr) ast.Expr {
+	if id := rootIdent(e); id != nil {
+		return id
+	}
+	return e
+}
+
+// mentionsObject reports whether the body references obj anywhere.
+func mentionsObject(info *types.Info, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// freshName returns base if no identifier in the enclosing body uses it,
+// else base2, base3, ...
+func freshName(base string, pass *Pass, encl *ast.BlockStmt) string {
+	used := make(map[string]bool)
+	ast.Inspect(encl, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			used[id.Name] = true
+		}
+		return true
+	})
+	if !used[base] {
+		return base
+	}
+	for i := 2; ; i++ {
+		cand := fmt.Sprintf("%s%d", base, i)
+		if !used[cand] {
+			return cand
+		}
+	}
+}
+
+// fileImports reports whether the file already imports path.
+func fileImports(file *ast.File, path string) bool {
+	for _, imp := range file.Imports {
+		if p, err := strconv.Unquote(imp.Path.Value); err == nil && p == path {
+			return true
+		}
+	}
+	return false
+}

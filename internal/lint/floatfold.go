@@ -38,6 +38,18 @@ func runFloatFold(pass *Pass) error {
 				return true
 			}
 			ast.Inspect(rng.Body, func(bn ast.Node) bool {
+				// Interprocedural: calling a helper that folds floats into
+				// surviving state runs one fold step per key, in map order.
+				if call, ok := bn.(*ast.CallExpr); ok {
+					if f := calleeFunc(pass.Info, call); f != nil {
+						if s := pass.Summaries.Lookup(f); s.Has(HazardFloatAccum) {
+							pass.Report(call.Pos(),
+								"map iteration calls %s, which accumulates floats into surviving state (%s → %s); fold over sorted keys",
+								f.Name(), f.Name(), s.Chain(HazardFloatAccum))
+							return false
+						}
+					}
+				}
 				as, ok := bn.(*ast.AssignStmt)
 				if !ok || len(as.Lhs) != 1 {
 					return true

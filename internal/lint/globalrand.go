@@ -34,6 +34,9 @@ func runGlobalRand(pass *Pass) error {
 	if !pass.Cfg.IsDeterministic(pass.PkgPath) || pass.Cfg.IsRandExempt(pass.PkgPath) {
 		return nil
 	}
+	// Boundary crossings: a deterministic package delegating to an
+	// unvetted module helper whose chain touches the global generator.
+	checkPropagated(pass, HazardGlobalRand, "the process-global generator")
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			sel, ok := n.(*ast.SelectorExpr)

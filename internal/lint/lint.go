@@ -13,21 +13,32 @@
 // which the stdlib go/* packages provide. Should the module ever vendor
 // x/tools, each analyzer's Run is a one-line adaptation away.
 //
-// Five rules make up the contract (see DESIGN.md "The determinism
-// contract"):
+// Seven rules make up the contract (see DESIGN.md "The determinism
+// contract" and §16):
 //
 //	wallclock  — no wall-clock time in deterministic packages
 //	globalrand — no global math/rand state; randomness flows through rng
 //	maporder   — no map iteration that emits output or escapes results
 //	rawgo      — no ad-hoc goroutines/channels outside the sim kernel
 //	floatfold  — no float accumulation in map iteration order
+//	vtblock    — no OS-blocking calls (file IO, sockets, real sync waits)
+//	             inside sim-proc context; only virtual time may block
+//	hotalloc   — no heap allocation in //detlint:hotpath functions,
+//	             checked against the compiler's escape analysis
+//
+// The first six see through helper chains: per-function hazard summaries
+// propagate bottom-up over the module call graph (summary.go), so a
+// time.Now five helpers deep is reported at the deterministic call site
+// with the full chain in the message.
 //
 // Exceptions are declared in place with a suppression comment:
 //
 //	//detlint:allow rule(reason)
 //
 // on the flagged line or the line above it. The reason is mandatory, so
-// every exception is visible and greppable in review.
+// every exception is visible and greppable in review, and a suppression
+// that no longer suppresses anything is itself reported (allowstale) so
+// the exception inventory cannot rot.
 package lint
 
 import (
@@ -64,6 +75,9 @@ type Pass struct {
 	// deterministic, which package is the blessed randomness home, which
 	// package is the concurrency kernel.
 	Cfg *Config
+	// Summaries is the whole-program hazard table (summary.go); nil when
+	// an analyzer is run standalone without the interprocedural layer.
+	Summaries *Summaries
 
 	report func(Diagnostic)
 }
@@ -77,11 +91,24 @@ func (p *Pass) Report(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ReportFix records one violation carrying a machine-applicable rewrite.
+func (p *Pass) ReportFix(pos token.Pos, fix *Fix, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+		Fix:      fix,
+	})
+}
+
 // Diagnostic is one reported violation, resolved to a file position.
 type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	// Fix, when non-nil, is a machine-applicable rewrite that resolves
+	// the diagnostic (applied by detlint -fix, see fix.go).
+	Fix *Fix
 }
 
 // String renders the diagnostic in the familiar vet format.
@@ -107,9 +134,31 @@ func sortDiagnostics(ds []Diagnostic) {
 	})
 }
 
-// Analyzers returns the full determinism suite in reporting order.
+// Analyzers returns the full per-package determinism suite in reporting
+// order. HotAlloc is not in the list: it shells out to the compiler and is
+// driven separately (RunHotAlloc) behind the -hotalloc flag. AllowStale is
+// not in the list either: its diagnostics come from the runner's own
+// suppression bookkeeping, not a package pass.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{WallClock, GlobalRand, MapOrder, RawGo, FloatFold}
+	return []*Analyzer{WallClock, GlobalRand, MapOrder, RawGo, FloatFold, VTBlock}
+}
+
+// AllRules returns every rule a //detlint:allow comment may legally name,
+// including the specially-driven ones.
+func AllRules() []*Analyzer {
+	return append(Analyzers(), HotAlloc, AllowStale)
+}
+
+// knownRuleNames is the suppression-parsing vocabulary: every rule name
+// that exists, independent of which analyzers a particular run enables. A
+// run with a subset of analyzers must still parse (and ignore) the other
+// rules' suppressions rather than call them unknown.
+func knownRuleNames() map[string]bool {
+	out := make(map[string]bool)
+	for _, a := range AllRules() {
+		out[a.Name] = true
+	}
+	return out
 }
 
 // importedPackage resolves an expression to the import path of the package

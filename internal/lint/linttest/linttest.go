@@ -33,8 +33,17 @@ var wantArgRe = regexp.MustCompile("`[^`]*`|\"[^\"]*\"")
 // fixtures' want comments as test errors.
 func Run(t *testing.T, dir string, cfg *lint.Config, analyzers ...*lint.Analyzer) {
 	t.Helper()
+	RunWith(t, dir, cfg, lint.Options{}, nil, analyzers...)
+}
 
-	fixDir := filepath.Join("testdata", "src", dir)
+// RunWith is Run with explicit runner options and sibling fixture packages:
+// each dir in deps is loaded (in order, under its own name as import path)
+// before the target fixture, so the target can import it and the
+// interprocedural summaries see the whole tower. The summary universe is
+// everything the loader has touched; opts.Universe is overwritten.
+func RunWith(t *testing.T, dir string, cfg *lint.Config, opts lint.Options, deps []string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+
 	moduleRoot, err := findModuleRoot()
 	if err != nil {
 		t.Fatal(err)
@@ -43,11 +52,30 @@ func Run(t *testing.T, dir string, cfg *lint.Config, analyzers ...*lint.Analyzer
 	if err != nil {
 		t.Fatal(err)
 	}
-	pkg, err := loader.LoadDir(fixDir, dir)
+	// Fixture dirs load under absolute paths so positions compare equal
+	// with diagnostics that carry absolute filenames (hotalloc joins the
+	// compiler's module-relative output onto ModuleRoot).
+	absFixture := func(name string) string {
+		p, err := filepath.Abs(filepath.Join("testdata", "src", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	for _, dep := range deps {
+		if _, err := loader.LoadDir(absFixture(dep), dep); err != nil {
+			t.Fatalf("loading fixture dependency %s: %v", dep, err)
+		}
+	}
+	pkg, err := loader.LoadDir(absFixture(dir), dir)
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", dir, err)
 	}
-	diags, err := lint.Run(cfg, analyzers, []*lint.Package{pkg})
+	opts.Universe = loader.Loaded()
+	if opts.HotAlloc && opts.ModuleRoot == "" {
+		opts.ModuleRoot = moduleRoot
+	}
+	diags, err := lint.RunOpts(cfg, analyzers, []*lint.Package{pkg}, opts)
 	if err != nil {
 		t.Fatalf("running analyzers over %s: %v", dir, err)
 	}

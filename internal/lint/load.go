@@ -105,6 +105,12 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 		dirs[dir] = true
 	}
 
+	if len(dirs) == 0 {
+		// A pattern that matches nothing must be loud: "CLEAN (0 packages)"
+		// from a typo'd path is a green CI step that checked nothing.
+		return nil, fmt.Errorf("lint: patterns %v matched no packages under %s", patterns, l.ModuleRoot)
+	}
+
 	var out []*Package
 	for dir := range dirs {
 		rel, err := filepath.Rel(l.ModuleRoot, dir)
@@ -129,6 +135,20 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 // layout under a synthetic import path — fixture packages in testdata.
 func (l *Loader) LoadDir(dir, pkgPath string) (*Package, error) {
 	return l.loadPackage(pkgPath, dir)
+}
+
+// Loaded returns every module-local package this loader has parsed so far —
+// the requested packages plus their in-module dependencies — sorted by
+// import path. This is the universe the interprocedural summaries fold
+// over: analyzing ./internal/engine still sees hazards grounded three
+// helpers deep in ./internal/storage.
+func (l *Loader) Loaded() []*Package {
+	out := make([]*Package, 0, len(l.pkgs))
+	for _, p := range l.pkgs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PkgPath < out[j].PkgPath })
+	return out
 }
 
 func hasGoFiles(dir string) bool {
@@ -207,6 +227,12 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 func (l *Loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
 	if path == "unsafe" {
 		return types.Unsafe, nil
+	}
+	// Already-loaded packages resolve by their registered path first — this
+	// is how fixture packages loaded via LoadDir under synthetic import
+	// paths can import one another (the cross-package chain fixtures).
+	if p, ok := l.pkgs[path]; ok {
+		return p.Types, nil
 	}
 	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
 		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")

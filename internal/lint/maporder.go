@@ -10,14 +10,17 @@ import (
 // order observable: writing output (fmt print functions, Write*/Emit*
 // methods, calls into the report/obs emitter packages), appending to a
 // slice that outlives the loop without a subsequent sort, or calling a
-// same-package helper that does one of those things. Go randomizes map
+// helper whose chain — arbitrarily deep, across packages — does one of
+// those things (the interprocedural HazardEmit summary). Go randomizes map
 // iteration order per range, so any of these bakes nondeterminism into
-// rendered bytes. The fix is the repo's collect-then-sort idiom; sites
+// rendered bytes. The fix is the repo's collect-then-sort idiom — which
+// detlint -fix applies mechanically when the loop shape allows — and sites
 // where order provably cannot matter carry //detlint:allow maporder(reason).
 var MapOrder = &Analyzer{
 	Name: "maporder",
-	Doc: "flag map iteration that emits output or escapes results in iteration order; " +
-		"sort keys first (collect-then-sort) or suppress with a reason",
+	Doc: "flag map iteration that emits output or escapes results in iteration order, " +
+		"including through helper chains; sort keys first (collect-then-sort, " +
+		"machine-applicable via -fix) or suppress with a reason",
 	Run: runMapOrder,
 }
 
@@ -33,14 +36,13 @@ func runMapOrder(pass *Pass) error {
 	if !pass.Cfg.IsDeterministic(pass.PkgPath) {
 		return nil
 	}
-	hazards := hazardSummaries(pass)
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
 				continue
 			}
-			checkMapRanges(pass, fd.Body, hazards)
+			checkMapRanges(pass, fd.Body, f)
 		}
 	}
 	return nil
@@ -92,53 +94,6 @@ func directHazard(pass *Pass, call *ast.CallExpr) string {
 	return ""
 }
 
-// hazardSummaries is the one-level interprocedural layer: a same-package
-// function is hazardous if its body emits output directly, or if it both
-// formats values (fmt.Sprint*/Errorf) and appends to a field — the
-// v.fail(...) pattern, which stores rendered messages in call order.
-// Appending raw values to a field is not hazardous by itself (merging
-// commutative state is order-insensitive); direct field appends inside a
-// map range are still caught by the escape rule at the range site.
-func hazardSummaries(pass *Pass) map[*types.Func]bool {
-	out := make(map[*types.Func]bool)
-	for _, f := range pass.Files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
-			if !ok {
-				continue
-			}
-			emits, formats, fieldAppend := false, false, false
-			ast.Inspect(fd.Body, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				if directHazard(pass, call) != "" {
-					emits = true
-				}
-				if cf := calleeFunc(pass.Info, call); cf != nil && cf.Pkg() != nil &&
-					cf.Pkg().Path() == "fmt" && (strings.HasPrefix(cf.Name(), "Sprint") || cf.Name() == "Errorf") {
-					formats = true
-				}
-				if isAppend(pass.Info, call) && len(call.Args) > 0 {
-					if _, ok := ast.Unparen(call.Args[0]).(*ast.SelectorExpr); ok {
-						fieldAppend = true
-					}
-				}
-				return true
-			})
-			if emits || (formats && fieldAppend) {
-				out[obj] = true
-			}
-		}
-	}
-	return out
-}
-
 // appendTarget returns the object a range-body append accumulates into, or
 // nil if the call is not an append or the destination cannot be resolved.
 func appendTarget(info *types.Info, call *ast.CallExpr) types.Object {
@@ -156,7 +111,9 @@ func appendTarget(info *types.Info, call *ast.CallExpr) types.Object {
 
 // checkMapRanges walks one function body, finds every range over a map,
 // and reports the ones whose body makes iteration order observable.
-func checkMapRanges(pass *Pass, body *ast.BlockStmt, hazards map[*types.Func]bool) {
+// Diagnostics carry the collect-then-sort rewrite (applied by -fix) when
+// the loop's shape provably permits it.
+func checkMapRanges(pass *Pass, body *ast.BlockStmt, file *ast.File) {
 	// sortedAfter(obj, pos): a sort/slices call mentioning obj at a
 	// position after pos — the second half of collect-then-sort.
 	sortedAfter := func(obj types.Object, pos ast.Node) bool {
@@ -215,9 +172,12 @@ func checkMapRanges(pass *Pass, body *ast.BlockStmt, hazards map[*types.Func]boo
 				hazard = "calls " + h
 				return false
 			}
-			if f := calleeFunc(pass.Info, call); f != nil && hazards[f] {
-				hazard = "calls " + f.Name() + ", which emits or escapes in call order"
-				return false
+			if f := calleeFunc(pass.Info, call); f != nil {
+				if s := pass.Summaries.Lookup(f); s.Has(HazardEmit) {
+					hazard = "calls " + f.Name() + ", which emits or escapes in call order (" +
+						f.Name() + " → " + s.Chain(HazardEmit) + ")"
+					return false
+				}
 			}
 			if obj := appendTarget(pass.Info, call); obj != nil && !declaredWithin(obj, rng.Pos(), rng.End()) {
 				escapes = append(escapes, obj)
@@ -227,11 +187,12 @@ func checkMapRanges(pass *Pass, body *ast.BlockStmt, hazards map[*types.Func]boo
 
 		switch {
 		case hazard != "":
-			pass.Report(rng.Pos(), "map iteration %s; map order is random per range — sort the keys first", hazard)
+			pass.ReportFix(rng.Pos(), buildMapOrderFix(pass, rng, body, file),
+				"map iteration %s; map order is random per range — sort the keys first", hazard)
 		case len(escapes) > 0:
 			for _, obj := range escapes {
 				if !sortedAfter(obj, rng) {
-					pass.Report(rng.Pos(),
+					pass.ReportFix(rng.Pos(), buildMapOrderFix(pass, rng, body, file),
 						"map iteration appends to %s, which outlives the loop unsorted; sort it before use (collect-then-sort)",
 						obj.Name())
 					break

@@ -25,6 +25,10 @@ func runRawGo(pass *Pass) error {
 	if !pass.Cfg.IsDeterministic(pass.PkgPath) || pass.Cfg.IsKernel(pass.PkgPath) {
 		return nil
 	}
+	// Boundary crossings: a deterministic package delegating to an
+	// unvetted module helper whose chain spawns goroutines or moves
+	// values through channels.
+	checkPropagated(pass, HazardRawGo, "raw concurrency")
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {

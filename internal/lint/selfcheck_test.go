@@ -36,24 +36,41 @@ func TestDetlintSelfCheck(t *testing.T) {
 // one must fail with at least one diagnostic from its own analyzer.
 func TestDetlintFlagsFixtures(t *testing.T) {
 	loader := sharedLoader(t)
-	for _, rule := range []string{"wallclock", "globalrand", "maporder", "rawgo", "floatfold"} {
-		pkgs, err := loader.Load("./internal/lint/testdata/src/" + rule)
+	// vtblock's fixture declares its own Proc type, so its module path must
+	// be appended to ProcTypes; the chain fixture is absent because its bare
+	// "chainhelper" import only resolves under linttest's sibling loading.
+	vtCfg := lint.DefaultConfig()
+	vtCfg.ProcTypes = append(vtCfg.ProcTypes, "cloudybench/internal/lint/testdata/src/vtblock.Proc")
+	cases := []struct {
+		rule string
+		cfg  *lint.Config
+	}{
+		{"wallclock", lint.DefaultConfig()},
+		{"globalrand", lint.DefaultConfig()},
+		{"maporder", lint.DefaultConfig()},
+		{"rawgo", lint.DefaultConfig()},
+		{"floatfold", lint.DefaultConfig()},
+		{"vtblock", vtCfg},
+		{"allowstale", lint.DefaultConfig()},
+	}
+	for _, tc := range cases {
+		pkgs, err := loader.Load("./internal/lint/testdata/src/" + tc.rule)
 		if err != nil {
-			t.Fatalf("%s: %v", rule, err)
+			t.Fatalf("%s: %v", tc.rule, err)
 		}
-		diags, err := lint.Run(lint.DefaultConfig(), lint.Analyzers(), pkgs)
+		diags, err := lint.Run(tc.cfg, lint.Analyzers(), pkgs)
 		if err != nil {
-			t.Fatalf("%s: %v", rule, err)
+			t.Fatalf("%s: %v", tc.rule, err)
 		}
 		found := false
 		for _, d := range diags {
-			if d.Analyzer == rule {
+			if d.Analyzer == tc.rule {
 				found = true
 				break
 			}
 		}
 		if !found {
-			t.Errorf("fixture %s produced no %s diagnostics under the default config", rule, rule)
+			t.Errorf("fixture %s produced no %s diagnostics under the default config", tc.rule, tc.rule)
 		}
 	}
 }

@@ -1,0 +1,21 @@
+// Package allowstale exercises suppression rot: an exception that still
+// masks a live violation is honoured silently, one that masks nothing is
+// itself an error (with a machine-applicable deletion).
+package allowstale
+
+import "time"
+
+// live: the allow earns its keep — no diagnostic from either rule.
+func live() int64 {
+	return time.Now().UnixNano() //detlint:allow wallclock(fixture: reviewed wall-clock read)
+}
+
+// rotted: nothing on this line violates anything anymore.
+func rotted() int {
+	return 7 //detlint:allow wallclock(fixture: the violation moved away) // want `suppression //detlint:allow wallclock\(.*\) no longer suppresses any diagnostic`
+}
+
+// standalone rotted comment on its own line, the -fix deletion target:
+//
+//detlint:allow wallclock(fixture: stale standalone) // want `no longer suppresses any diagnostic`
+func alsoClean() {}

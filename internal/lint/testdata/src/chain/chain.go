@@ -1,0 +1,26 @@
+// Package chain exercises interprocedural hazard propagation: the
+// cross-package boundary rule (a deterministic package delegating into an
+// unvetted helper tower) and summary chains through in-package recursion
+// cycles. The fixture is configured with this package deterministic and
+// chainhelper not.
+package chain
+
+import "chainhelper"
+
+// measure delegates timing to a tower whose third level reads the wall
+// clock; the diagnostic lands here, at the boundary crossing, with the
+// full witness chain.
+func measure() int64 {
+	return chainhelper.Stamp() // want `call to Stamp reaches the wall clock \(Stamp → mid → leaf → time\.Now\); deterministic packages must not delegate to it`
+}
+
+// harmless delegates to a hazard-free tower: no diagnostic.
+func harmless() int {
+	return chainhelper.Pure()
+}
+
+// suppressed carries a reviewed exception; the allow is live (consumed by
+// the boundary diagnostic), so allowstale stays quiet too.
+func suppressed() int64 {
+	return chainhelper.Stamp() //detlint:allow wallclock(fixture: reviewed boundary crossing)
+}

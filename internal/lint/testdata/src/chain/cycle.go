@@ -1,0 +1,24 @@
+package chain
+
+import "fmt"
+
+// render ranges a map and hands each key to a mutually recursive pair
+// whose deeper half prints: the summary fixpoint must converge on the
+// cycle and surface the emit hazard at the range site.
+func render(m map[string]int) {
+	for k := range m { // want `map iteration calls ping, which emits or escapes in call order \(ping → pong → fmt\.Println\)`
+		ping(k, 2)
+	}
+}
+
+func ping(k string, n int) {
+	if n == 0 {
+		return
+	}
+	pong(k, n-1)
+}
+
+func pong(k string, n int) {
+	fmt.Println(k)
+	ping(k, n-1)
+}

@@ -1,0 +1,33 @@
+// Package fixgolden is the -fix round-trip input: the test copies it to a
+// temp dir, applies detlint's machine fixes, and compares the result to
+// fixgolden.golden byte-for-byte. Applying fixes a second time must be a
+// no-op, and the output must be gofmt-clean.
+package fixgolden
+
+import (
+	"fmt"
+)
+
+// Dump prints totals in map order: the maporder fix rewrites the loop to
+// collect-then-sort and adds the slices import.
+func Dump(totals map[string]int) {
+	for name, n := range totals {
+		fmt.Println(name, n)
+	}
+}
+
+// Keys escapes iteration order through the returned slice; the same
+// rewrite applies to a key-only range.
+func Keys(m map[int]string) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// The suppression below rotted (its loop was rewritten long ago); -fix
+// deletes the whole line.
+//
+//detlint:allow maporder(stale: the loop this guarded is gone)
+func Quiet() {}

@@ -11,16 +11,16 @@ import (
 )
 
 func bad() {
-	_ = rand.Int()        // want `rand\.Int uses the process-global generator`
-	_ = rand.Intn(10)     // want `rand\.Intn uses the process-global generator`
-	_ = rand.Float64()    // want `rand\.Float64 uses the process-global generator`
-	_ = rand.Perm(4)      // want `rand\.Perm uses the process-global generator`
+	_ = rand.Int()                     // want `rand\.Int uses the process-global generator`
+	_ = rand.Intn(10)                  // want `rand\.Intn uses the process-global generator`
+	_ = rand.Float64()                 // want `rand\.Float64 uses the process-global generator`
+	_ = rand.Perm(4)                   // want `rand\.Perm uses the process-global generator`
 	rand.Shuffle(2, func(i, j int) {}) // want `rand\.Shuffle uses the process-global generator`
 }
 
 func badV2() {
-	_ = randv2.IntN(10)   // want `rand\.IntN uses the process-global generator`
-	_ = randv2.Float64()  // want `rand\.Float64 uses the process-global generator`
+	_ = randv2.IntN(10)  // want `rand\.IntN uses the process-global generator`
+	_ = randv2.Float64() // want `rand\.Float64 uses the process-global generator`
 }
 
 func good() float64 {

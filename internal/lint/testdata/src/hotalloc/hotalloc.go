@@ -1,0 +1,73 @@
+// Package hotalloc exercises the escape-analysis gate. The package must
+// build standalone (the analyzer shells out to go build), so helpers are
+// marked //go:noinline to pin the compiler's escape positions to their
+// declaration sites instead of duplicating them at inlined call sites.
+package hotalloc
+
+// Box is big enough that the compiler never stack-promotes an escaping one.
+type Box struct{ v [4]int }
+
+var sink *Box
+
+var coldSink []byte
+
+// Hot returns a pointer to a local: the textbook escape, on the hot path.
+//
+//detlint:hotpath
+func Hot() *Box {
+	b := &Box{} // want `heap allocation on the hot path: .*escapes to heap.* in Hot \(//detlint:hotpath\)`
+	return b
+}
+
+// HotClean allocates nothing; the gate must stay quiet.
+//
+//detlint:hotpath
+func HotClean(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// HotCallee is clean itself, but its direct callee leaks — charged to the
+// annotated root.
+//
+//detlint:hotpath
+func HotCallee() {
+	helper()
+}
+
+//go:noinline
+func helper() {
+	sink = &Box{} // want `heap allocation on the hot path: .*escapes to heap.* in helper \(direct callee of //detlint:hotpath HotCallee\)`
+}
+
+// HotCold exercises both escape hatches: a //detlint:coldpath callee is
+// excluded wholesale, and panic arguments are exempt (a deterministic
+// crash never runs in steady state).
+//
+//detlint:hotpath
+func HotCold() {
+	grow()
+	if badState() {
+		panic(&Box{})
+	}
+}
+
+//go:noinline
+//detlint:coldpath
+func grow() {
+	coldSink = make([]byte, 1024)
+}
+
+//go:noinline
+func badState() bool { return false }
+
+// HotAllowed carries a reviewed cold-branch exception on the allocating
+// line; the allow is live, so allowstale stays quiet too.
+//
+//detlint:hotpath
+func HotAllowed() {
+	coldSink = make([]byte, 16) //detlint:allow hotalloc(fixture: cold growth path)
+}

@@ -1,0 +1,69 @@
+// Package vtblock exercises the sim-proc OS-blocking rule. The fixture
+// config registers vtblock.Proc as a proc type: any function or literal
+// taking it runs under virtual time and must not touch the OS — directly,
+// or through a helper tower (the HazardOSBlock summary).
+package vtblock
+
+import (
+	"os"
+	"sync"
+)
+
+// Proc stands in for the DES kernel's process handle.
+type Proc struct{}
+
+// Sleep is the fixture's virtual-time block; calling it is always legal.
+func (p *Proc) Sleep(d int) {}
+
+// Run is proc context: direct OS calls, real sync waits, and helper
+// towers that reach the OS are all flagged; virtual sleeps and calls into
+// other proc-context functions (checked at their own declarations) are
+// not.
+func Run(p *Proc) {
+	p.Sleep(5)
+	_, _ = os.ReadFile("x") // want `os\.ReadFile blocks on the OS inside sim-proc context`
+	var mu sync.Mutex
+	mu.Lock() // want `\(\*sync\.Mutex\)\.Lock blocks on the OS inside sim-proc context`
+	persist() // want `call to persist reaches OS-blocking os\.Create \(persist → flush → os\.Create\) inside sim-proc context`
+	compute()
+	step(p)
+}
+
+// step is itself proc context, so Run's call to it is clean — but its own
+// body is checked here.
+func step(p *Proc) {
+	_ = os.Remove("y") // want `os\.Remove blocks on the OS inside sim-proc context`
+}
+
+// closures with a proc parameter are proc context too.
+var hook = func(p *Proc, path string) {
+	_, _ = os.Stat(path) // want `os\.Stat blocks on the OS inside sim-proc context`
+}
+
+// blessed carries a reviewed exception (checkpoint artifacts are written
+// outside the measured window), consumed by the diagnostic on its line.
+func blessed(p *Proc) {
+	_ = os.Mkdir("snap", 0o755) //detlint:allow vtblock(fixture: outside the measured window)
+}
+
+// persist → flush → os.Create is the helper tower; neither helper takes a
+// Proc, so the hazard must travel by summary.
+func persist() {
+	flush()
+}
+
+func flush() {
+	f, err := os.Create("out")
+	if err == nil {
+		f.Close()
+	}
+}
+
+// compute is hazard-free; calling it from proc context is clean.
+func compute() int {
+	s := 0
+	for i := 0; i < 4; i++ {
+		s += i
+	}
+	return s
+}

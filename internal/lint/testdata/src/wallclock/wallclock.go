@@ -10,11 +10,11 @@ import (
 )
 
 func bad() {
-	_ = time.Now()                 // want `time\.Now reads the wall clock`
-	time.Sleep(time.Millisecond)   // want `time\.Sleep reads the wall clock`
-	_ = time.Since(time.Time{})    // want `time\.Since reads the wall clock`
-	_ = time.After(time.Second)    // want `time\.After reads the wall clock`
-	_ = time.NewTimer(time.Second) // want `time\.NewTimer reads the wall clock`
+	_ = time.Now()                   // want `time\.Now reads the wall clock`
+	time.Sleep(time.Millisecond)     // want `time\.Sleep reads the wall clock`
+	_ = time.Since(time.Time{})      // want `time\.Since reads the wall clock`
+	_ = time.After(time.Second)      // want `time\.After reads the wall clock`
+	_ = time.NewTimer(time.Second)   // want `time\.NewTimer reads the wall clock`
 	t := time.NewTicker(time.Second) // want `time\.NewTicker reads the wall clock`
 	t.Stop()
 }

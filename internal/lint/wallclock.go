@@ -36,6 +36,9 @@ func runWallClock(pass *Pass) error {
 	if !pass.Cfg.IsDeterministic(pass.PkgPath) {
 		return nil
 	}
+	// Boundary crossings: a deterministic package delegating to an
+	// unvetted module helper whose chain samples the clock.
+	checkPropagated(pass, HazardWallclock, "the wall clock")
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			sel, ok := n.(*ast.SelectorExpr)

@@ -263,6 +263,8 @@ func (st *Stream) dropRecord(typ storage.RecType) bool {
 // between records, while a batch in flight completes first). The post-sleep
 // section never yields, so no other process can observe the intermediate
 // ordering of applies and OnApply hooks.
+//
+//detlint:hotpath
 func (st *Stream) replayBatch(p *sim.Proc, batch []envelope) {
 	// A down replica buffers the backlog; replay resumes (and catches
 	// up) once the node restarts, extending recovery realistically.

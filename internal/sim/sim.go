@@ -50,8 +50,8 @@ type Sim struct {
 	runnext    event
 	runnextSet bool
 
-	seq     uint64 // dispatch tiebreaker for determinism
-	running int    // processes currently executing (0 or 1 in steady state)
+	seq     uint64             // dispatch tiebreaker for determinism
+	running int                // processes currently executing (0 or 1 in steady state)
 	procs   map[*Proc]struct{} // live (not yet exited) processes
 	err     error
 }
@@ -217,6 +217,10 @@ func (s *Sim) wakeLocked(p *Proc) {
 	s.pushLocked(s.now, p)
 }
 
+// dispatchLocked advances virtual time to the next event and hands the CPU
+// to its process — the DES inner loop, entered once per block/wake edge.
+//
+//detlint:hotpath
 func (s *Sim) dispatchLocked() {
 	var ev event
 	switch {
@@ -246,7 +250,10 @@ func (s *Sim) dispatchLocked() {
 
 // deadlockErrorLocked reconstructs the blocked-process diagnostic. It runs
 // only when every live process is blocked with no pending events, so each
-// process's last-recorded block reason is its current one.
+// process's last-recorded block reason is its current one — a terminal
+// path, excluded from dispatchLocked's allocation budget.
+//
+//detlint:coldpath
 func (s *Sim) deadlockErrorLocked() error {
 	names := make([]string, 0, len(s.procs))
 	for p := range s.procs {
