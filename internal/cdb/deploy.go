@@ -136,6 +136,7 @@ func Deploy(s *sim.Sim, prof Profile, opts Options) (*Deployment, error) {
 			MemoryBytes: bufBytes,
 			OpCPU:       prof.OpCPU,
 			TxnCPU:      prof.TxnCPU,
+			Recovery:    prof.Recovery,
 			Trace:       opts.Tracer,
 		}
 		if serverless {
@@ -164,6 +165,21 @@ func Deploy(s *sim.Sim, prof Profile, opts Options) (*Deployment, error) {
 		if opts.ExtraSchema != nil {
 			if err := opts.ExtraSchema(n.DB); err != nil {
 				return nil, err
+			}
+		}
+		// Crash recovery rebuilds the catalog on a fresh engine exactly as
+		// it was built here; the setup already succeeded once, so a failure
+		// on replay is a bug, not an input error.
+		n.RebuildSchema = func(db *engine.DB) {
+			if !opts.NoDataset {
+				if err := d.Dataset.CreateTables(db); err != nil {
+					panic("cdb: schema rebuild: " + err.Error())
+				}
+			}
+			if opts.ExtraSchema != nil {
+				if err := opts.ExtraSchema(db); err != nil {
+					panic("cdb: schema rebuild: " + err.Error())
+				}
 			}
 		}
 		d.nodes = append(d.nodes, n)

@@ -103,6 +103,7 @@ func (ts *TenantSet) makeTenantNode(i int, opts Options) (*node.Node, error) {
 		MemoryBytes: prof.MemoryBytes,
 		OpCPU:       prof.OpCPU,
 		TxnCPU:      prof.TxnCPU,
+		Recovery:    prof.Recovery,
 	}
 	if prof.Tenancy == TenancyPool {
 		cfg.SharedCPU = ts.Pool

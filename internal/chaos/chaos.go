@@ -20,9 +20,11 @@ import (
 	"time"
 
 	"cloudybench/internal/cluster"
+	"cloudybench/internal/engine"
 	"cloudybench/internal/netsim"
 	"cloudybench/internal/node"
 	"cloudybench/internal/sim"
+	"cloudybench/internal/storage"
 )
 
 // Kind identifies a fault type.
@@ -66,6 +68,13 @@ const (
 	// ExtraLatency and BWFactor for the duration — packets are late, not
 	// lost.
 	DelaySpike Kind = "delay-spike"
+	// NodeCrash kills the target node outright: its WAL keeps only what
+	// fsync made durable (the in-flight record torn per Torn), every
+	// volatile structure dies, and the cluster drives real crash recovery —
+	// ARIES redo/undo for an RW, promote-and-seed for switch-over
+	// architectures, durable-log resync for an RO. Unlike ReplicaCrash
+	// (a scripted restart), recovery time here is emergent from the log.
+	NodeCrash Kind = "node-crash"
 )
 
 // Event is one scheduled fault.
@@ -87,6 +96,9 @@ type Event struct {
 	// GroupA / GroupB name the endpoint groups of Partition, AsymPartition,
 	// Heal, and DelaySpike events (netsim.Net endpoint names).
 	GroupA, GroupB []string
+	// Torn selects how a NodeCrash mangles the WAL record mid-write at the
+	// crash instant (recovery must detect and truncate the damage).
+	Torn storage.TornMode
 }
 
 // Schedule is a set of fault events. Events may overlap.
@@ -119,6 +131,10 @@ type Targets struct {
 	Net *netsim.Net
 	// Seed drives the IO-error-burst coin flips (deterministic per node).
 	Seed int64
+	// CrashRecovery carries the recovery teeth knobs applied to every
+	// NodeCrash in the schedule (deliberately-broken recovery variants for
+	// the durability gauntlet); zero value = honest ARIES recovery.
+	CrashRecovery engine.RecoveryOpts
 }
 
 // Applied is the log entry of one injected fault.
@@ -128,6 +144,17 @@ type Applied struct {
 	Target string
 }
 
+// CrashOutcome is the recovery record of one NodeCrash event: the stats of
+// the ARIES pass that restored the node (zero for a promote-on-failure
+// switch-over, where the crashed primary's recovery runs as the rejoin) and
+// the error if recovery failed.
+type CrashOutcome struct {
+	At     time.Duration
+	Target string
+	Stats  engine.RecoveryStats
+	Err    string
+}
+
 // Injector executes a schedule against a deployment.
 type Injector struct {
 	s       *sim.Sim
@@ -135,6 +162,7 @@ type Injector struct {
 	targets Targets
 
 	applied []Applied
+	crashes []CrashOutcome
 }
 
 // NewInjector binds a schedule to a deployment's fault surface, validating
@@ -171,7 +199,7 @@ func Validate(sched Schedule, t Targets) error {
 			return fail("Rate %v outside [0,1]", ev.Rate)
 		}
 		switch ev.Kind {
-		case DiskStall, IOErrorBurst, ReplicaCrash, NodePause, CacheDrop:
+		case DiskStall, IOErrorBurst, ReplicaCrash, NodePause, CacheDrop, NodeCrash:
 			if lookup(ev.Target) == nil {
 				return fail("unknown node target %q", ev.Target)
 			}
@@ -235,6 +263,10 @@ func (inj *Injector) Start() {
 // Applied returns the log of injected faults in firing order.
 func (inj *Injector) Applied() []Applied { return inj.applied }
 
+// Crashes returns the recovery outcomes of fired NodeCrash events, in
+// firing order.
+func (inj *Injector) Crashes() []CrashOutcome { return inj.crashes }
+
 // member resolves an event target against the cluster.
 func (inj *Injector) member(target string) *cluster.Member {
 	if target == "rw" {
@@ -267,6 +299,22 @@ func (inj *Injector) fire(p *sim.Proc, ev Event) {
 	case ReplicaCrash:
 		if m := inj.member(ev.Target); m != nil {
 			inj.targets.Cluster.InjectCrashMidReplay(p, m)
+		}
+	case NodeCrash:
+		if m := inj.member(ev.Target); m != nil {
+			// Reserve the outcome slot up front so Crashes() lists kills in
+			// firing order, not in completion order (a long recovery would
+			// otherwise reorder behind later skipped kills).
+			idx := len(inj.crashes)
+			inj.crashes = append(inj.crashes, CrashOutcome{At: p.Elapsed(), Target: ev.Target})
+			st, err := inj.targets.Cluster.InjectNodeCrash(p, m, cluster.CrashOpts{
+				Torn:     ev.Torn,
+				Recovery: inj.targets.CrashRecovery,
+			})
+			inj.crashes[idx].Stats = st
+			if err != nil {
+				inj.crashes[idx].Err = err.Error()
+			}
 		}
 	case LinkDegrade:
 		for _, l := range inj.targets.Links {

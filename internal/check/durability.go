@@ -1,0 +1,117 @@
+package check
+
+import (
+	"cloudybench/internal/engine"
+)
+
+// Crash-durability invariants. The recorder survives node crashes (recovery
+// carries the observer onto the rebuilt engine), so its history spans every
+// crash in a run: commit events mark exactly the transactions the engine
+// made durable (commit append + fsync are atomic), write events carry the
+// images of both acknowledged and doomed transactions. That history plus
+// the final post-recovery state is enough to judge the two contracts a
+// crash must not break:
+//
+//   - Durability: every key's final value is the one the last acknowledged
+//     commit gave it (or its untouched baseline);
+//   - NoResurrection: no key's final value is an image only an unacked
+//     transaction ever wrote — the signature of recovery skipping undo or
+//     trusting a torn log tail.
+
+// keyRef locates one touched key for final-state lookup.
+type keyRef struct {
+	table string
+	key   engine.Key
+}
+
+// durabilityExpectations walks the history once, returning every touched
+// key in first-touch order, the value the committed history says it must
+// end at (baseline until a committed write lands), and the after-images
+// non-committed transactions wrote to it.
+func durabilityExpectations(h *Recorder) (order []string, refs map[string]keyRef, expected map[string]string, zombie map[string]map[string][]uint64) {
+	committed := h.committedTxns()
+	refs = make(map[string]keyRef)
+	expected = make(map[string]string)
+	zombie = make(map[string]map[string][]uint64)
+	for i := range h.events {
+		ev := &h.events[i]
+		if ev.Kind != EvWrite {
+			continue
+		}
+		k := ev.Table + "\x00" + string(ev.Key)
+		if _, ok := refs[k]; !ok {
+			refs[k] = keyRef{table: ev.Table, key: append(engine.Key(nil), ev.Key...)}
+			order = append(order, k)
+			// Until a committed write lands, the key must end at the value
+			// it held when first touched: the before-image of the first
+			// write is that baseline (write order per key is lock order).
+			expected[k] = encRow(ev.Before)
+		}
+		if committed[ev.Txn] {
+			expected[k] = encRow(ev.After)
+		} else {
+			img := encRow(ev.After)
+			if zombie[k] == nil {
+				zombie[k] = make(map[string][]uint64)
+			}
+			zombie[k][img] = append(zombie[k][img], ev.Txn)
+		}
+	}
+	return order, refs, expected, zombie
+}
+
+// finalValue reads a key's committed value from the post-recovery database.
+func finalValue(db *engine.DB, ref keyRef) string {
+	row, _, ok := db.Read(ref.table, ref.key)
+	if !ok {
+		return encRow(nil)
+	}
+	return encRow(row)
+}
+
+// Durability verifies that after every crash and recovery in the run, each
+// touched key's final value is exactly what the acknowledged-commit history
+// dictates: the after-image of the last committed write, or the key's
+// baseline if no write to it ever committed. A divergence means an acked
+// commit was lost, a doomed write survived, or recovery mangled a value —
+// run NoResurrection alongside to classify which.
+func Durability(name string, h *Recorder, db *engine.DB) Verdict {
+	v := Verdict{Name: "durability/" + name, Passed: true}
+	order, refs, expected, _ := durabilityExpectations(h)
+	for _, k := range order {
+		v.Checked++
+		ref := refs[k]
+		if got := finalValue(db, ref); got != expected[k] {
+			v.fail("table %s key %x: final value diverges from the last acknowledged commit",
+				ref.table, ref.key)
+		}
+	}
+	return v
+}
+
+// NoResurrection verifies that no key ends the run holding a value that
+// only a non-committed transaction ever wrote: an in-flight loser the crash
+// took, or a rolled-back abort. Such a zombie value means recovery failed
+// to undo a loser (or applied a torn tail) — the client was told "not
+// committed" yet the write is visible.
+func NoResurrection(name string, h *Recorder, db *engine.DB) Verdict {
+	v := Verdict{Name: "no-resurrection/" + name, Passed: true}
+	order, refs, expected, zombie := durabilityExpectations(h)
+	for _, k := range order {
+		images := zombie[k]
+		if len(images) == 0 {
+			continue
+		}
+		v.Checked++
+		ref := refs[k]
+		got := finalValue(db, ref)
+		if got == expected[k] {
+			continue // committed value wins, even if some zombie wrote the same bytes
+		}
+		if txns, ok := images[got]; ok {
+			v.fail("table %s key %x: holds a value only non-committed txn %d wrote (resurrected write)",
+				ref.table, ref.key, txns[0])
+		}
+	}
+	return v
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"time"
 
+	"cloudybench/internal/engine"
 	"cloudybench/internal/node"
 	"cloudybench/internal/obs"
 	"cloudybench/internal/replication"
@@ -234,7 +235,7 @@ func (c *Cluster) Shutdown() {
 func (c *Cluster) InjectRestart(p *sim.Proc, m *Member) {
 	p.Sleep(c.cfg.DetectDelay)
 	if m.Role == RW && c.cfg.PromoteOnRWFailure {
-		c.promoteFailover(p, m)
+		c.promoteFailover(p, m, engine.RecoveryOpts{})
 		return
 	}
 	c.restartInPlace(p, m)
@@ -273,6 +274,76 @@ func (c *Cluster) InjectCrashMidReplay(p *sim.Proc, m *Member) {
 	c.restartInPlace(p, m)
 }
 
+// CrashOpts selects the fault shape for InjectNodeCrash.
+type CrashOpts struct {
+	// Torn selects how the record mid-write at the crash instant is mangled.
+	Torn storage.TornMode
+	// Recovery carries the teeth knobs for the durability gauntlet
+	// (deliberately-broken recovery variants); zero value = honest recovery.
+	Recovery engine.RecoveryOpts
+}
+
+// InjectNodeCrash kills the member's node at this instant — its WAL keeps
+// only what fsync made durable (the in-flight record torn per opts), every
+// volatile structure dies — then, after the failure-detection delay, drives
+// real crash recovery: an RW either recovers in place via the ARIES pass
+// (recovery time emergent from log-since-checkpoint) or, for
+// promote-on-failure architectures, fails over to a replica seeded from the
+// durable log (the returned stats are then the old primary's rejoin
+// recovery); a crashed RO resyncs from the primary's durable log (its own
+// apply state was volatile). Blocks until the member serves again; returns
+// the recovery stats of the pass that restored it.
+func (c *Cluster) InjectNodeCrash(p *sim.Proc, m *Member, opts CrashOpts) (engine.RecoveryStats, error) {
+	if m == nil {
+		return engine.RecoveryStats{}, nil
+	}
+	if m.Node.State() != node.Running {
+		// The node is already down, recovering, or paused: crashing a
+		// mid-recovery node would corrupt the restart model, so the fault is
+		// recorded as a no-op (the schedule stays deterministic either way).
+		c.mark(fmt.Sprintf("%s crash skipped (not running)", m.Role))
+		return engine.RecoveryStats{}, nil
+	}
+	if opts.Torn != storage.TornNone {
+		// An adversarial kill: wait (briefly) for an instant when the WAL
+		// actually holds unsynced records, so the tear lands mid-write on a
+		// real in-flight record instead of falling in a clean gap between
+		// fsync barriers. Bounded so an idle node still crashes.
+		log := m.Node.DB.Log()
+		deadline := p.Elapsed() + 250*time.Millisecond
+		for log.Head() <= log.DurableLSN() && p.Elapsed() < deadline {
+			p.Sleep(20 * time.Microsecond)
+		}
+	}
+	m.Node.Crash(opts.Torn)
+	c.mark(fmt.Sprintf("%s crash injected", m.Role))
+	p.Sleep(c.cfg.DetectDelay)
+	if m.Role == RW && c.cfg.PromoteOnRWFailure && c.Replica(0) != nil {
+		return c.promoteFailover(p, m, opts.Recovery)
+	}
+	if m.Role == RO {
+		// Replica resync: rebuild from the primary's durable log.
+		m.Node.SeedRecovery(c.rw.Node.DB.Log().DurableSnapshot(), nil)
+	}
+	return c.recoverNode(p, m, opts.Recovery)
+}
+
+// recoverNode drives real node recovery for a crashed member and restores
+// it to service, recording the same timeline marks as a scripted restart so
+// evaluator phase detection is agnostic to which path ran.
+func (c *Cluster) recoverNode(p *sim.Proc, m *Member, opts engine.RecoveryOpts) (engine.RecoveryStats, error) {
+	t0 := c.S.Elapsed()
+	st, err := m.Node.Recover(p, opts)
+	if err != nil {
+		c.mark(fmt.Sprintf("%s recovery failed", m.Role))
+		return st, err
+	}
+	c.tracePhase(fmt.Sprintf("%s crash recovery", m.Role), t0, c.S.Elapsed())
+	c.mark(fmt.Sprintf("%s service restored", m.Role))
+	c.rampUp(m.Node)
+	return st, nil
+}
+
 // rampUp throttles a freshly restarted node and restores full capacity in
 // quarter steps across the configured recovery ramp.
 func (c *Cluster) rampUp(n *node.Node) {
@@ -294,13 +365,16 @@ func (c *Cluster) rampUp(n *node.Node) {
 }
 
 // promoteFailover runs the Figure 7 switch-over: prepare, promote an RO to
-// the new RW, recover, and rejoin the old RW as an RO.
-func (c *Cluster) promoteFailover(p *sim.Proc, old *Member) {
+// the new RW, recover, and rejoin the old RW as an RO. When the old RW is
+// down from a real crash its rejoin runs actual ARIES recovery over its
+// durable log; those stats are returned so crash gauntlets can report the
+// recovery work a promotion architecture still performs.
+func (c *Cluster) promoteFailover(p *sim.Proc, old *Member, opts engine.RecoveryOpts) (engine.RecoveryStats, error) {
 	target := c.Replica(0)
 	if target == nil {
 		// No replica to promote: fall back to restart-in-place.
 		c.restartInPlace(p, old)
-		return
+		return engine.RecoveryStats{}, nil
 	}
 	c.mark("RW failure detected")
 
@@ -340,6 +414,14 @@ func (c *Cluster) promoteFailover(p *sim.Proc, old *Member) {
 	old.Role = RO
 	target.Role = RW
 	c.rw = target
+	if old.Node.Crashed() {
+		// The old RW actually crashed (not a scripted restart): seed the new
+		// RW's WAL from the durable log in shared storage so its LSNs and
+		// txn ids continue the acknowledged history the replica applied.
+		snap, _ := old.Node.CrashArtifacts()
+		target.Node.DB.Log().Restore(snap)
+		target.Node.DB.BumpTxnFloor(old.Node.DB.TxnCounter())
+	}
 
 	// Recovering: the new RW rebuilds active transactions and rolls back
 	// uncommitted work by scanning undo.
@@ -378,7 +460,20 @@ func (c *Cluster) promoteFailover(p *sim.Proc, old *Member) {
 	// The old RW restarts (cleanup + restart) slightly behind the
 	// switch-over, then serves reads.
 	old.Node.Buf.Clear()
-	p.Sleep(c.cfg.RestartServiceTime)
-	old.Node.SetState(node.Running)
+	var st engine.RecoveryStats
+	if old.Node.Crashed() {
+		// Real crash: the old primary rejoins through actual recovery over
+		// its durable log — honest, since its rebuilt state only ever serves
+		// reads behind the new RW's replication stream.
+		var err error
+		if st, err = old.Node.Recover(p, opts); err != nil {
+			c.mark("old RW recovery failed")
+			return st, err
+		}
+	} else {
+		p.Sleep(c.cfg.RestartServiceTime)
+		old.Node.SetState(node.Running)
+	}
 	c.mark("old RW rejoined as RO'")
+	return st, nil
 }

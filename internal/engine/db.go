@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"sort"
 
 	"cloudybench/internal/sim"
 	"cloudybench/internal/storage"
@@ -23,6 +24,12 @@ type DB struct {
 
 	nextTxn     uint64
 	nextTableID storage.TableID
+
+	// active is the active-transaction table: txns that have logged at least
+	// one record but not yet committed or aborted, keyed to their first LSN.
+	// Fuzzy checkpoints capture it; crash recovery rolls back whatever it
+	// held at the failure instant (reconstructed from the log).
+	active map[uint64]storage.LSN
 
 	// Fast-path scratch (DESIGN.md §15). txnFree recycles finished Txn
 	// objects — a deterministic free-list, not sync.Pool, so reuse order is
@@ -53,6 +60,7 @@ func NewDB(s *sim.Sim) *DB {
 		byID:      make(map[storage.TableID]*Table),
 		locks:     NewLockTable(s),
 		log:       storage.NewLog(),
+		active:    make(map[uint64]storage.LSN),
 		internStr: make(map[string]string),
 	}
 }
@@ -272,11 +280,11 @@ type Txn struct {
 	lockSeq    []string
 	// keyBuf is the composite lock-key scratch (table name, NUL, row key).
 	keyBuf []byte
-	// arena backs the Key and Image bytes of pending records until Commit
-	// copies the survivors into the DB slab; aborted transactions recycle
-	// it wholesale, allocating nothing. See DESIGN.md §15 for what may
-	// hold an arena slice and for how long.
-	arena   []byte
+	// pending holds this txn's WAL records as already appended to the log
+	// (write-ahead discipline: redo + undo images reach the log at write
+	// time, before commit). Commit republishes Prior-stripped copies to the
+	// shipping layer; the payload bytes are slab-backed and immortal — the
+	// log retains them whether the txn commits or aborts.
 	undo    []undoEntry
 	pending []storage.Record
 	// lastIxPages holds the index pages touched by the most recent write
@@ -313,7 +321,6 @@ func (db *DB) release(t *Txn) {
 	t.pending = t.pending[:0]
 	t.lockSorted = t.lockSorted[:0]
 	t.lockSeq = t.lockSeq[:0]
-	t.arena = t.arena[:0]
 	t.lastIxPages = t.lastIxPages[:0]
 	t.p = nil
 	db.txnFree = append(db.txnFree, t)
@@ -383,34 +390,31 @@ func (t *Txn) acquire(table *Table, k Key, mode LockMode) error {
 	return nil
 }
 
-// arenaEnsure grows the arena geometrically. EncodeRow's own growth is
-// exact-fit, which would reallocate on every encode once the arena rides its
-// capacity; doubling here keeps bulk-load transactions linear. Growth leaves
-// earlier arena slices pointing at the previous backing array, which stays
-// correct — arena bytes are immutable once written.
-func (t *Txn) arenaEnsure(need int) {
-	if cap(t.arena)-len(t.arena) >= need {
-		return
+// logOp appends one of this txn's WAL records at write time (the
+// write-ahead discipline: the log holds redo and undo for every in-flight
+// change before the txn decides its fate) and buffers the assigned record
+// for publication at commit. The first record also registers the txn in the
+// active-transaction table.
+func (t *Txn) logOp(rec storage.Record) {
+	db := t.db
+	if len(t.pending) == 0 {
+		db.active[t.id] = db.log.Head() + 1
 	}
-	grown := make([]byte, len(t.arena), 2*cap(t.arena)+need)
-	copy(grown, t.arena)
-	t.arena = grown
+	rec.LSN = db.log.Append(rec)
+	t.pending = append(t.pending, rec)
 }
 
-// arenaBytes copies b into the txn arena, returning the arena-backed copy.
-func (t *Txn) arenaBytes(b []byte) []byte {
-	t.arenaEnsure(len(b))
-	n := len(t.arena)
-	t.arena = append(t.arena, b...)
-	return t.arena[n:len(t.arena):len(t.arena)]
-}
-
-// arenaRow encodes r into the txn arena, returning the image bytes.
-func (t *Txn) arenaRow(r Row) []byte {
-	t.arenaEnsure(EncodedRowSize(r))
-	n := len(t.arena)
-	t.arena = EncodeRow(t.arena, r)
-	return t.arena[n:len(t.arena):len(t.arena)]
+// priorFlags encodes the exact overlay shape a write displaced, so recovery
+// undo can restore it with Table.undoSet.
+func priorFlags(existed, wasDelta bool) uint8 {
+	var f uint8
+	if existed {
+		f |= storage.FlagPriorExisted
+	}
+	if wasDelta {
+		f |= storage.FlagPriorInDelta
+	}
+	return f
 }
 
 // Get reads the row under k with a shared lock, returning the row and the
@@ -471,13 +475,14 @@ func (t *Txn) Insert(table *Table, row Row) (storage.PageID, error) {
 	if o := t.db.observer; o != nil {
 		o.OnWrite(t.db.sim.Elapsed(), t.id, table.Schema.Name, k, nil, row)
 	}
-	t.pending = append(t.pending, storage.Record{
+	t.logOp(storage.Record{
 		Type:  storage.RecInsert,
 		Txn:   t.id,
+		Flags: priorFlags(false, wasDelta),
 		Table: table.ID,
 		Page:  page,
-		Key:   t.arenaBytes(k),
-		Image: t.arenaRow(row),
+		Key:   t.db.stable(k),
+		Image: t.db.stableRow(row),
 	})
 	t.recordIndexOps(table)
 	return page, nil
@@ -500,13 +505,15 @@ func (t *Txn) Update(table *Table, k Key, row Row) (storage.PageID, error) {
 	if o := t.db.observer; o != nil {
 		o.OnWrite(t.db.sim.Elapsed(), t.id, table.Schema.Name, k, old, row)
 	}
-	t.pending = append(t.pending, storage.Record{
+	t.logOp(storage.Record{
 		Type:  storage.RecUpdate,
 		Txn:   t.id,
+		Flags: priorFlags(true, wasDelta),
 		Table: table.ID,
 		Page:  page,
-		Key:   t.arenaBytes(k),
-		Image: t.arenaRow(row),
+		Key:   t.db.stable(k),
+		Image: t.db.stableRow(row),
+		Prior: t.db.stableRow(old),
 	})
 	t.recordIndexOps(table)
 	return page, nil
@@ -529,12 +536,14 @@ func (t *Txn) Delete(table *Table, k Key) (storage.PageID, error) {
 	if o := t.db.observer; o != nil {
 		o.OnWrite(t.db.sim.Elapsed(), t.id, table.Schema.Name, k, old, nil)
 	}
-	t.pending = append(t.pending, storage.Record{
+	t.logOp(storage.Record{
 		Type:  storage.RecDelete,
 		Txn:   t.id,
+		Flags: priorFlags(true, wasDelta),
 		Table: table.ID,
 		Page:  page,
-		Key:   t.arenaBytes(k),
+		Key:   t.db.stable(k),
+		Prior: t.db.stableRow(old),
 	})
 	t.recordIndexOps(table)
 	return page, nil
@@ -552,12 +561,12 @@ func (t *Txn) recordIndexOps(table *Table) {
 		if op.Del {
 			typ = storage.RecIndexDelete
 		}
-		t.pending = append(t.pending, storage.Record{
+		t.logOp(storage.Record{
 			Type:  typ,
 			Txn:   t.id,
 			Table: op.Index.ID,
 			Page:  op.Page,
-			Key:   t.arenaBytes(op.EntryKey),
+			Key:   t.db.stable(op.EntryKey),
 		})
 		t.lastIxPages = append(t.lastIxPages, op.Page)
 	}
@@ -616,17 +625,39 @@ func (db *DB) stable(b []byte) []byte {
 		if len(b) > size {
 			size = len(b)
 		}
-		db.slab = make([]byte, 0, size) //detlint:allow hotalloc(slab chunk growth, amortized to <1 alloc per 64KiB of records)
+		db.slab = make([]byte, 0, size)
 	}
 	n := len(db.slab)
 	db.slab = append(db.slab, b...)
 	return db.slab[n : n+len(b) : n+len(b)]
 }
 
-// Commit appends the transaction's redo records plus a commit record to the
-// WAL, releases all locks, and returns the appended records (the caller
-// charges log-write and shipping costs from their sizes). Read-only
-// transactions append nothing.
+// stableRow encodes r straight into the DB slab, returning the immortal
+// image bytes (nil for a nil row, i.e. a delete's after-image).
+func (db *DB) stableRow(r Row) []byte {
+	if r == nil {
+		return nil
+	}
+	need := EncodedRowSize(r)
+	if cap(db.slab)-len(db.slab) < need {
+		size := slabChunk
+		if need > size {
+			size = need
+		}
+		db.slab = make([]byte, 0, size)
+	}
+	n := len(db.slab)
+	db.slab = EncodeRow(db.slab, r)
+	return db.slab[n:len(db.slab):len(db.slab)]
+}
+
+// Commit appends the commit record, moves the fsync barrier over everything
+// logged so far (group commit: one txn's durability fsync drags every
+// earlier append, other txns' in-flight records included), releases all
+// locks, and returns the txn's records for publication to replication
+// streams. Published copies have Prior stripped — undo images are local to
+// the primary's log; replicas replay after-images only. Read-only
+// transactions publish nothing.
 //
 // The returned slice is a shared per-DB buffer, valid until the next
 // committing transaction on this DB: callers must consume it synchronously
@@ -643,22 +674,22 @@ func (t *Txn) Commit() ([]storage.Record, error) {
 	db := t.db
 	var appended []storage.Record
 	if len(t.pending) > 0 {
+		commit := storage.Record{Type: storage.RecCommit, Txn: t.id}
+		commit.LSN = db.log.Append(commit)
+		db.log.Sync()
 		appended = db.appended[:0]
 		if cap(appended) < len(t.pending)+1 {
 			appended = make([]storage.Record, 0, len(t.pending)+1) //detlint:allow hotalloc(capacity growth for the widest txn seen, then reused via db.appended)
 		}
 		for i := range t.pending {
 			rec := t.pending[i]
-			rec.Key = db.stable(rec.Key)     //detlint:allow hotalloc(inlined stable: slab chunk growth, amortized)
-			rec.Image = db.stable(rec.Image) //detlint:allow hotalloc(inlined stable: slab chunk growth, amortized)
-			rec.LSN = 0
-			rec.LSN = db.log.Append(rec)
+			rec.Prior = nil
+			rec.Flags = 0
 			appended = append(appended, rec)
 		}
-		commit := storage.Record{Type: storage.RecCommit, Txn: t.id}
-		commit.LSN = db.log.Append(commit)
 		appended = append(appended, commit)
 		db.appended = appended
+		delete(db.active, t.id)
 	}
 	db.locks.ReleaseAll(t.id, t.lockSeq)
 	db.commits++
@@ -669,10 +700,13 @@ func (t *Txn) Commit() ([]storage.Record, error) {
 	return appended, nil
 }
 
-// Abort rolls back every change in reverse order and releases all locks.
-// Nothing the transaction buffered escapes: pending records and their
-// arena-backed bytes recycle with the Txn, so an aborted transaction
-// allocates nothing on the fast path.
+// Abort rolls back every change in reverse order, appends an abort record
+// so crash recovery knows this txn's logged writes were already rolled back
+// (skipping them in redo instead of replaying compensation), and releases
+// all locks. The abort record rides to durability on the next group-commit
+// fsync — safe, because under strict 2PL any later committed write to the
+// same key orders after this marker in the log, so a durable commit implies
+// the durable marker.
 //
 //detlint:hotpath
 func (t *Txn) Abort() error {
@@ -685,6 +719,10 @@ func (t *Txn) Abort() error {
 		u.table.undoSet(u.key, u.prior, u.page, u.existed, u.inDelta)
 	}
 	db := t.db
+	if len(t.pending) > 0 {
+		db.log.Append(storage.Record{Type: storage.RecAbort, Txn: t.id})
+		delete(db.active, t.id)
+	}
 	db.locks.ReleaseAll(t.id, t.lockSeq)
 	db.aborts++
 	if o := db.observer; o != nil {
@@ -694,8 +732,9 @@ func (t *Txn) Abort() error {
 	return nil
 }
 
-// WALBytes returns the encoded size of the records a commit would write,
-// used by nodes to pre-charge group-commit latency.
+// WALBytes returns the encoded size of the records this txn's commit fsync
+// makes durable (its own operation records, undo images included, plus the
+// commit record), used by nodes to pre-charge group-commit latency.
 func (t *Txn) WALBytes() int {
 	total := 0
 	for i := range t.pending {
@@ -706,3 +745,55 @@ func (t *Txn) WALBytes() int {
 	}
 	return total
 }
+
+// ActiveTxnTable returns the active-transaction table — txns with logged
+// records awaiting commit or abort — in ascending txn-id order.
+func (db *DB) ActiveTxnTable() []storage.CheckpointTxn {
+	if len(db.active) == 0 {
+		return nil
+	}
+	out := make([]storage.CheckpointTxn, 0, len(db.active))
+	for id, first := range db.active {
+		out = append(out, storage.CheckpointTxn{ID: id, FirstLSN: first})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// FuzzyCheckpoint appends a checkpoint record capturing the current
+// active-transaction table and the caller's dirty-page table, returning its
+// LSN. The checkpoint is fuzzy — it does not quiesce writers or flush pages
+// itself; the caller (the node's checkpointer) pays the flush I/O and makes
+// the record durable with a log sync.
+func (db *DB) FuzzyCheckpoint(dirty []storage.PageID) storage.LSN {
+	att := db.ActiveTxnTable()
+	start := db.log.Head() + 1 // the LSN the checkpoint record will get
+	for _, t := range att {
+		if t.FirstLSN < start {
+			start = t.FirstLSN
+		}
+	}
+	return db.log.Append(storage.Record{
+		Type: storage.RecCheckpoint,
+		Image: storage.EncodeCheckpointData(storage.CheckpointData{
+			StartLSN:   start,
+			ActiveTxns: att,
+			DirtyPages: dirty,
+		}),
+	})
+}
+
+// BumpTxnFloor raises the txn-id counter to at least floor, so ids issued
+// after a promotion or recovery never collide with ids the crashed or
+// demoted instance already used.
+func (db *DB) BumpTxnFloor(floor uint64) {
+	if db.nextTxn < floor {
+		db.nextTxn = floor
+	}
+}
+
+// TxnCounter returns the highest txn id issued so far. Node recovery
+// carries it across a crash: the lost volatile tail may hold ids beyond
+// anything in the durable log, and reusing one would conflate two distinct
+// transactions in recorded histories.
+func (db *DB) TxnCounter() uint64 { return db.nextTxn }

@@ -42,15 +42,26 @@ func TestTxnCommitAppendsWAL(t *testing.T) {
 		if len(recs) != 3 { // insert, update, commit
 			t.Errorf("committed %d records, want 3", len(recs))
 		}
+		// WALBytes prices what the commit fsync makes durable: the logged
+		// records with their undo images, not the Prior-stripped published
+		// copies.
 		gotBytes := 0
-		for i := range recs {
-			gotBytes += recs[i].Size()
+		for _, rec := range db.Log().Read(0, 0) {
+			gotBytes += rec.Size()
 		}
 		if gotBytes != wantBytes {
-			t.Errorf("WALBytes = %d, actual %d", wantBytes, gotBytes)
+			t.Errorf("WALBytes = %d, log holds %d", wantBytes, gotBytes)
+		}
+		for i := range recs {
+			if recs[i].Prior != nil {
+				t.Errorf("published record %d carries a prior image", i)
+			}
 		}
 		if recs[2].Type != storage.RecCommit {
 			t.Error("last record not commit")
+		}
+		if db.Log().DurableLSN() != db.Log().Head() {
+			t.Error("commit did not move the fsync barrier to head")
 		}
 	})
 	if err := s.Run(); err != nil {
@@ -119,8 +130,14 @@ func TestTxnAbortUndoesEverything(t *testing.T) {
 	if _, _, ok := tbl.Get(IntKey(6)); !ok {
 		t.Fatal("aborted delete still hides row")
 	}
-	if db.Log().Head() != 0 {
-		t.Fatal("aborted txn wrote WAL")
+	// Write-ahead logging puts the op records in the log before the txn
+	// decides its fate; the abort appends a marker so recovery skips them.
+	recs := db.Log().Read(0, 0)
+	if len(recs) != 4 || recs[3].Type != storage.RecAbort {
+		t.Fatalf("log after abort: %d records, last %v; want 4 ending in ABORT", len(recs), recs[len(recs)-1].Type)
+	}
+	if db.Log().DurableLSN() != 0 {
+		t.Fatal("abort moved the fsync barrier")
 	}
 	if db.Locks().HeldLocks() != 0 {
 		t.Fatal("locks leaked after abort")

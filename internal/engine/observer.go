@@ -26,3 +26,7 @@ type Observer interface {
 
 // SetObserver attaches (or, with nil, detaches) a history observer.
 func (db *DB) SetObserver(o Observer) { db.observer = o }
+
+// Observer returns the attached history observer (nil if detached), so node
+// recovery can carry it onto the rebuilt DB instance.
+func (db *DB) Observer() Observer { return db.observer }

@@ -131,6 +131,7 @@ func TestPropertyWALReplayReconstructsState(t *testing.T) {
 		pt := primary.MustCreateTable(testSchema(), base, genOrder)
 		rt := replica.MustCreateTable(testSchema(), base, genOrder)
 
+		applyErr := false
 		s.Go("driver", func(p *sim.Proc) {
 			for i := 0; i < 120; i++ {
 				txn := primary.Begin(p)
@@ -146,17 +147,21 @@ func TestPropertyWALReplayReconstructsState(t *testing.T) {
 				if r.Intn(5) == 0 {
 					txn.Abort()
 				} else {
-					txn.Commit()
+					// Ship what Commit publishes — the committed after-image
+					// stream replicas see — immediately, while the shared
+					// record buffer is valid.
+					recs, _ := txn.Commit()
+					for _, rec := range recs {
+						if err := replica.Apply(rec); err != nil {
+							applyErr = true
+							return
+						}
+					}
 				}
 			}
 		})
-		if err := s.Run(); err != nil {
+		if err := s.Run(); err != nil || applyErr {
 			return false
-		}
-		for _, rec := range primary.Log().Read(0, 0) {
-			if err := replica.Apply(rec); err != nil {
-				return false
-			}
 		}
 		if rt.LiveRows() != pt.LiveRows() {
 			return false

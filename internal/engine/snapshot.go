@@ -145,5 +145,8 @@ func (db *DB) Restore(snap DBSnapshot) error {
 	db.nextTableID = snap.nextTableID
 	db.commits = snap.commits
 	db.aborts = snap.aborts
+	// Snapshots are taken at quiescence, so the active-transaction table is
+	// empty by construction; clear any leftover entries in the target.
+	clear(db.active)
 	return nil
 }

@@ -209,6 +209,26 @@ func TestRunFailoverShapes(t *testing.T) {
 	}
 }
 
+// TestRunFailoverReportsTotalOutage: when the service never comes back
+// inside the observation window (RDS's 22s restart against a 10s window),
+// the result must report the full window as phase one, not the F=0/R=0 of a
+// perfect run.
+func TestRunFailoverReportsTotalOutage(t *testing.T) {
+	r := RunFailover(FailoverConfig{
+		Kind: cdb.RDS, Role: cluster.RW, Concurrency: 60,
+		Baseline: 5 * time.Second, Timeout: 10 * time.Second,
+	})
+	if r.BaselineTPS <= 0 {
+		t.Fatal("no baseline TPS")
+	}
+	if r.F != 10*time.Second {
+		t.Fatalf("F = %v, want the full 10s observation window", r.F)
+	}
+	if r.R != 0 {
+		t.Fatalf("R = %v, want 0 (service never returned, R unmeasurable)", r.R)
+	}
+}
+
 func TestRunOverallComposesScores(t *testing.T) {
 	if testing.Short() {
 		t.Skip("composite run")

@@ -174,6 +174,12 @@ func RunFailover(cfg FailoverConfig) FailoverResult {
 		} else {
 			res.R = end - backAt // never fully recovered in window
 		}
+	} else if outage >= 0 {
+		// Service never came back inside the observation window: the whole
+		// window is phase one. Without this, a total outage would report
+		// F=0/R=0 — indistinguishable from a perfect run.
+		res.F = end - injectAt
+		res.R = 0
 	}
 	return res
 }

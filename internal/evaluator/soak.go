@@ -12,6 +12,7 @@ import (
 	"cloudybench/internal/engine"
 	"cloudybench/internal/obs"
 	"cloudybench/internal/sim"
+	"cloudybench/internal/storage"
 )
 
 // SoakConfig parameterizes one SUT's soak run: days of virtual time under
@@ -78,11 +79,20 @@ func (c SoakConfig) Tenants(w int) int { return tenantPattern[w%len(tenantPatter
 // SoakSchedule compiles the rolling chaos schedule for a soak run: every
 // virtual day repeats a disk stall clipping one burst (a p99 spike), a
 // degraded fabric window, a replica crash mid-burst (replication catch-up),
-// and a full client blackout window (the seeded unavailability anomaly);
-// from day two onward the day opens with an eviction storm. All faults
-// auto-heal, so each day starts from a healthy cluster.
+// a primary kill mid-burst with a torn WAL tail (real ARIES recovery, with
+// the following sweep judging durability across it), and a full client
+// blackout window (the seeded unavailability anomaly); from day two onward
+// the day opens with an eviction storm. All faults auto-heal, so each day
+// starts from a healthy cluster.
 func SoakSchedule(days int, window, burst time.Duration) chaos.Schedule {
 	wpd := int(24 * time.Hour / window)
+	// The primary kill gets its own window at three quarters of the day;
+	// with only four windows/day that slot is the blackout window, so the
+	// kill shares the day's opening burst instead.
+	crashW := 3 * wpd / 4
+	if crashW >= wpd-1 {
+		crashW = 0
+	}
 	var sched chaos.Schedule
 	for d := 0; d < days; d++ {
 		dayStart := time.Duration(d) * 24 * time.Hour
@@ -98,6 +108,12 @@ func SoakSchedule(days int, window, burst time.Duration) chaos.Schedule {
 			chaos.Event{At: at(wpd / 2), Kind: chaos.LinkDegrade, Duration: burst,
 				ExtraLatency: 2 * time.Millisecond, BWFactor: 0.5},
 			chaos.Event{At: at(wpd/2) + burst/3, Kind: chaos.ReplicaCrash, Target: "ro0"},
+			// The primary is killed mid-burst with a torn WAL tail —
+			// in-flight transactions die, recovery must cut the tear, redo
+			// from the last checkpoint, and undo the losers. The next
+			// sweep's Durability/NoResurrection verdicts judge it.
+			chaos.Event{At: at(crashW) + burst/2, Kind: chaos.NodeCrash, Target: "rw",
+				Torn: storage.TornFlip},
 			// Last window of the day: clients are cut from every node for the
 			// whole burst and the retry drain — zero commits against real
 			// attempts, the seeded unavailability anomaly.
@@ -113,9 +129,12 @@ func SoakSchedule(days int, window, burst time.Duration) chaos.Schedule {
 }
 
 // SoakSweep is one in-flight invariant sweep: the virtual time it ran, the
-// window it landed in, and its verdicts (Conservation and ReadCommitted
-// over the segment since the previous sweep, IndexCoherent on the live
-// primary, NoSplitBrain over the fence log so far).
+// window it landed in, and its verdicts (Conservation, ReadCommitted,
+// Durability, and NoResurrection over the segment since the previous sweep,
+// IndexCoherent on the live primary, NoSplitBrain over the fence log so
+// far). The durability pair is what judges each day's primary kill: the
+// segment history spans the crash, so a lost acknowledged commit or a
+// resurrected loser write surfaces in the very next sweep mark.
 type SoakSweep struct {
 	At       time.Duration
 	Window   int
@@ -219,16 +238,26 @@ func RunSoak(cfg SoakConfig) SoakResult {
 
 	res := SoakResult{Kind: cfg.Kind, Days: cfg.Days, Window: cfg.Window, Timeline: tl, Agg: tr.Agg()}
 
-	// The in-flight sweep judges Conservation/ReadCommitted over the
-	// segment recorded since the previous sweep: a fresh recorder replaces
-	// the observer while traffic is fully quiesced, so every segment holds
-	// only whole transactions.
+	// The in-flight sweep judges the history invariants over the segment
+	// recorded since the previous sweep: a fresh recorder replaces the
+	// observer while traffic is fully quiesced, so every segment holds only
+	// whole transactions. The recorder is attached to every member (observer
+	// hooks fire only on the node running write transactions, and crash
+	// recovery carries the observer onto the rebuilt engine), so segments
+	// span the daily primary kill — and any promotion it triggers.
 	rec := check.NewRecorder()
-	d.RW().DB.SetObserver(rec)
+	attach := func(r *check.Recorder) {
+		for _, m := range d.Cluster.Members() {
+			m.Node.DB.SetObserver(r)
+		}
+	}
+	attach(rec)
 	sweep := func(p *sim.Proc, w int) {
 		verdicts := []check.Verdict{
 			check.Conservation(rec),
 			check.ReadCommitted(rec),
+			check.Durability("rw", rec, d.RW().DB),
+			check.NoResurrection("rw", rec, d.RW().DB),
 			check.IndexCoherent("rw", d.RW().DB),
 			check.NoSplitBrain(d.Fence.Events()),
 		}
@@ -244,7 +273,7 @@ func RunSoak(cfg SoakConfig) SoakResult {
 		tl.Mark(sw.At, "sweep", strings.Join(names, " "), sw.Passed())
 		res.Sweeps = append(res.Sweeps, sw)
 		rec = check.NewRecorder()
-		d.RW().DB.SetObserver(rec)
+		attach(rec)
 	}
 
 	s.Go("ctl", func(p *sim.Proc) {

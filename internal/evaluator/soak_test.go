@@ -86,22 +86,22 @@ func TestSoakLongitudinal(t *testing.T) {
 		t.Fatal("timeline aggregate != tracer whole-run aggregate")
 	}
 
-	// Sweeps land after every SweepEvery-th window's burst, carry the four
+	// Sweeps land after every SweepEvery-th window's burst, carry the six
 	// in-flight invariants, and all pass.
 	wantSweeps := total / cfg.SweepEvery
 	if len(r.Sweeps) != wantSweeps {
 		t.Fatalf("sweeps = %d, want %d", len(r.Sweeps), wantSweeps)
 	}
 	for _, s := range r.Sweeps {
-		if len(s.Verdicts) != 4 {
-			t.Fatalf("sweep at w%d has %d verdicts, want 4", s.Window, len(s.Verdicts))
+		if len(s.Verdicts) != 6 {
+			t.Fatalf("sweep at w%d has %d verdicts, want 6", s.Window, len(s.Verdicts))
 		}
 		names := make([]string, len(s.Verdicts))
 		for i, v := range s.Verdicts {
 			names[i] = v.Name
 		}
 		joined := strings.Join(names, " ")
-		for _, want := range []string{"conservation", "read-committed", "index-coherent", "split-brain"} {
+		for _, want := range []string{"conservation", "read-committed", "durability", "no-resurrection", "index-coherent", "split-brain"} {
 			if !strings.Contains(joined, want) {
 				t.Fatalf("sweep verdicts %v missing %q", names, want)
 			}

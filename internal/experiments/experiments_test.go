@@ -26,6 +26,8 @@ var tiny = Scale{
 	LagConc:        4,
 	PartSpan:       8 * time.Second,
 	PartConc:       4,
+	CrashSpan:      10 * time.Second,
+	CrashConc:      6,
 	SuiteSpan:      3 * time.Second,
 	SuiteConc:      4,
 	SoakDays:       3,
@@ -57,6 +59,8 @@ var mini = Scale{
 	ChaosConc:      3,
 	PartSpan:       4 * time.Second,
 	PartConc:       3,
+	CrashSpan:      8 * time.Second,
+	CrashConc:      4,
 	SuiteSpan:      1500 * time.Millisecond,
 	SuiteConc:      3,
 	SoakDays:       3,
@@ -81,7 +85,7 @@ func TestParallelCellsAreByteIdentical(t *testing.T) {
 		}
 		return out
 	}
-	for _, id := range []string{"f5", "f6", "lag", "partition", "soak", "suites"} {
+	for _, id := range []string{"crash", "f5", "f6", "lag", "partition", "soak", "suites"} {
 		SetParallelism(1)
 		seq := run(id)
 		SetParallelism(4)
@@ -99,7 +103,7 @@ func TestParallelCellsAreByteIdentical(t *testing.T) {
 }
 
 func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
-	want := []string{"ablations", "chaos", "f5", "f6", "f7", "f8", "f9", "lag", "oltp", "partition", "soak", "suites", "t5", "t6", "t7", "t8", "t9"}
+	want := []string{"ablations", "chaos", "crash", "f5", "f6", "f7", "f8", "f9", "lag", "oltp", "partition", "soak", "suites", "t5", "t6", "t7", "t8", "t9"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("ids = %v", got)

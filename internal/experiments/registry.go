@@ -39,6 +39,8 @@ var registry = map[string]struct {
 		Ablations},
 	"chaos": {"Chaos gauntlet — ACID invariants under injected faults, all SUTs",
 		func(sc Scale) string { out, _ := Chaos(sc); return out }},
+	"crash": {"Crash gauntlet — WAL redo/undo recovery, torn-tail kills, and the durability/no-resurrection verdicts, all SUTs",
+		func(sc Scale) string { out, _ := Crash(sc); return out }},
 	"oltp": {"Stage profile — traced OLTP run with per-SUT virtual-time stage breakdown (honours --trace)",
 		func(sc Scale) string { out, _ := OLTPTrace(sc); return out }},
 	"partition": {"Partition gauntlet — MTTD/MTTR, lease fencing, and resilient-client metrics under a gray partition, all SUTs",

@@ -51,6 +51,12 @@ type Scale struct {
 	PartSpan time.Duration
 	PartConc int
 
+	// Crash gauntlet (cloudybench run crash) — the traffic window the
+	// kill schedule is compiled onto, and the client count keeping the WAL
+	// growing while the kills land.
+	CrashSpan time.Duration
+	CrashConc int
+
 	// Scenario suites (cloudybench run suites) — registered workload
 	// families on every SUT, plus their chaos/partition composition cells.
 	SuiteSpan time.Duration
@@ -100,6 +106,8 @@ var Quick = Scale{
 	ChaosConc:      8,
 	PartSpan:       18 * time.Second,
 	PartConc:       12,
+	CrashSpan:      20 * time.Second,
+	CrashConc:      12,
 	SuiteSpan:      6 * time.Second,
 	SuiteConc:      8,
 	SoakDays:       3,
@@ -130,6 +138,8 @@ var Paper = Scale{
 	ChaosConc:      32,
 	PartSpan:       40 * time.Second,
 	PartConc:       32,
+	CrashSpan:      40 * time.Second,
+	CrashConc:      24,
 	SuiteSpan:      20 * time.Second,
 	SuiteConc:      16,
 	SoakDays:       7,
@@ -162,6 +172,8 @@ var Bench = Scale{
 	ChaosConc:      6,
 	PartSpan:       12 * time.Second,
 	PartConc:       6,
+	CrashSpan:      12 * time.Second,
+	CrashConc:      6,
 	SuiteSpan:      3 * time.Second,
 	SuiteConc:      4,
 	SoakDays:       3,

@@ -84,9 +84,13 @@ type Config struct {
 	SharedCPU *sim.Resource
 
 	// CheckpointInterval, if positive, runs a periodic checkpoint that
-	// flushes all dirty pages through the backend (ARIES engines). Zero
+	// flushes all dirty pages through the backend and logs a fuzzy
+	// checkpoint record bounding crash-recovery redo (ARIES engines). Zero
 	// disables checkpointing (redo-pushdown architectures).
 	CheckpointInterval time.Duration
+
+	// Recovery prices this architecture's crash-recovery path.
+	Recovery RecoveryConfig
 
 	// Trace, if non-nil, records stage-level spans (CPU, lock waits, page
 	// IO, WAL appends) on the observability tracer. Nil disables tracing
@@ -145,6 +149,20 @@ type Node struct {
 	// guard during partitions.
 	fence *storage.Fence
 	epoch uint64
+
+	// RebuildSchema recreates the catalog (tables, base rows, secondary
+	// indexes) on a fresh engine instance; crash recovery needs it because
+	// a rebooted process re-runs deterministic schema setup before log
+	// replay. Set by the deployment layer after dataset creation.
+	RebuildSchema func(db *engine.DB)
+
+	recovery RecoveryConfig
+	// crashEpoch counts crashes; a Tx begun before a crash carries the old
+	// value and is refused at commit (its engine txn died with the node).
+	crashEpoch uint64
+	crashed    bool
+	crashSnap  storage.LogSnapshot
+	crashTail  []byte
 }
 
 // New creates a node with its own engine database.
@@ -178,6 +196,7 @@ func New(s *sim.Sim, cfg Config, backend StorageBackend) *Node {
 		n.cpu = sim.NewResource(s, int64(cfg.VCores*MilliPerCore))
 		n.ownsCPU = true
 	}
+	n.recovery = cfg.Recovery
 	n.checkpointEvery = cfg.CheckpointInterval
 	if n.checkpointEvery > 0 {
 		s.Go(n.Name+"/checkpointer", n.checkpointLoop)
@@ -367,6 +386,8 @@ func (n *Node) checkpointLoop(p *sim.Proc) {
 		if n.state != Running {
 			continue
 		}
+		epoch := n.crashEpoch
+		dirtyPages := n.Buf.DirtyPages()
 		dirty := n.Buf.FlushAll()
 		tr := n.Trace
 		var t0 time.Duration
@@ -382,6 +403,20 @@ func (n *Node) checkpointLoop(p *sim.Proc) {
 		if tr != nil && dirty > 0 {
 			tr.RecordBG("checkpoint", obs.KindCheckpointStall, n.Name, t0, p.Elapsed())
 		}
+		if n.crashEpoch != epoch || n.state != Running {
+			// The node crashed under the checkpointer; the engine instance
+			// it captured dirty pages from is gone.
+			continue
+		}
+		// Log the fuzzy checkpoint bounding crash-recovery redo: the record
+		// captures the dirty-page table and active-txn table, and its write
+		// + sync is priced like any WAL append.
+		b0 := n.DB.Log().Bytes()
+		n.DB.FuzzyCheckpoint(dirtyPages)
+		n.Backend.WriteLog(p, int(n.DB.Log().Bytes()-b0))
+		if n.crashEpoch == epoch {
+			n.DB.Log().Sync()
+		}
 	}
 }
 
@@ -395,6 +430,11 @@ type Tx struct {
 	n     *Node
 	p     *sim.Proc
 	inner *engine.Txn
+	// epoch is the node's crash epoch at Begin: a crash between any of this
+	// transaction's yields discards its engine txn with the node's volatile
+	// state, so a stale epoch must fail the transaction instead of touching
+	// the rebuilt engine.
+	epoch uint64
 }
 
 // Begin starts a transaction, blocking through pause/resume and failing on
@@ -405,12 +445,16 @@ func (n *Node) Begin(p *sim.Proc) (*Tx, error) {
 	}
 	n.Trace.SetNode(p, n.Name)
 	n.ChargeCPU(p, n.txnCPU)
+	if n.state != Running {
+		// The node crashed while this request waited for vCores.
+		return nil, ErrNodeDown
+	}
 	if n.faultReject() {
 		// CPU was already charged, so the rejection consumed virtual
 		// time — error loops cannot livelock the simulation.
 		return nil, ErrIOFault
 	}
-	return &Tx{n: n, p: p, inner: n.DB.Begin(p)}, nil
+	return &Tx{n: n, p: p, inner: n.DB.Begin(p), epoch: n.crashEpoch}, nil
 }
 
 // Get reads a row with a shared lock, charging CPU and page access.
@@ -519,6 +563,12 @@ func (n *Node) Epoch() uint64 { return n.epoch }
 // the RW lease to a fail-over it may not even know about) aborts the
 // transaction with ErrFenced before any durability is paid.
 func (t *Tx) Commit() error {
+	if t.n.crashEpoch != t.epoch {
+		// The node crashed since Begin: this transaction's engine state died
+		// with it. The abort only tidies the orphaned pre-crash instance.
+		_ = t.inner.Abort()
+		return ErrNodeDown
+	}
 	if t.inner.WALBytes() > 0 && t.n.fence != nil {
 		if err := t.n.fence.CheckCommit(t.p.Elapsed(), t.n.Name, t.n.epoch); err != nil {
 			// Roll back explicitly: callers treat a commit error as final
@@ -536,6 +586,14 @@ func (t *Tx) Commit() error {
 			t0 := t.p.Elapsed()
 			t.n.Backend.WriteLog(t.p, bytes)
 			tr.Record(t.p, obs.KindWALAppend, t0, t.p.Elapsed())
+		}
+		if t.n.crashEpoch != t.epoch {
+			// The node crashed during the durability wait: the commit record
+			// never reached the durable log (engine Commit appends and syncs
+			// it atomically, and it hadn't run yet), so the client must see
+			// failure — an ack here would be a resurrection-in-waiting.
+			_ = t.inner.Abort()
+			return ErrNodeDown
 		}
 	}
 	recs, err := t.inner.Commit()

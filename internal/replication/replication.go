@@ -266,9 +266,10 @@ func (st *Stream) dropRecord(typ storage.RecType) bool {
 //
 //detlint:hotpath
 func (st *Stream) replayBatch(p *sim.Proc, batch []envelope) {
-	// A down replica buffers the backlog; replay resumes (and catches
-	// up) once the node restarts, extending recovery realistically.
-	for st.replica.State() == node.Down {
+	// A down or recovering replica buffers the backlog; replay resumes
+	// (and catches up) once the node is serving again, extending recovery
+	// realistically.
+	for st.replica.State() == node.Down || st.replica.State() == node.Recovering {
 		p.Sleep(100 * time.Millisecond)
 	}
 	start := p.Elapsed()
@@ -324,7 +325,7 @@ func (st *Stream) replayBatch(p *sim.Proc, batch []envelope) {
 // applyOne pays the replay cost for one record and applies it to the
 // replica. Shared by the serial replay path and DrainPending.
 func (st *Stream) applyOne(p *sim.Proc, env envelope) {
-	for st.replica.State() == node.Down {
+	for st.replica.State() == node.Down || st.replica.State() == node.Recovering {
 		p.Sleep(100 * time.Millisecond)
 	}
 	cost := st.recordCost(env.rec.Type)

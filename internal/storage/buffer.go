@@ -114,6 +114,20 @@ func (b *BufferPool) DirtyCount() int {
 	return n
 }
 
+// DirtyPages returns the resident dirty pages in LRU order (MRU first) —
+// the dirty-page table a fuzzy checkpoint records. The order follows the
+// LRU list, so it is deterministic for a deterministic access history.
+func (b *BufferPool) DirtyPages() []PageID {
+	var out []PageID
+	for el := b.lru.Front(); el != nil; el = el.Next() {
+		ent := el.Value.(*bufEntry)
+		if ent.dirty {
+			out = append(out, ent.id)
+		}
+	}
+	return out
+}
+
 // FlushAll clears all dirty flags, returning how many pages were flushed.
 // Checkpointing engines pay writeback I/O for each.
 func (b *BufferPool) FlushAll() int {

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 )
 
 // LSN is a log sequence number. LSNs are dense and strictly increasing per
@@ -56,32 +57,62 @@ func (t RecType) String() string {
 	}
 }
 
+// Record flag bits. The prior-image flags capture the exact overlay shape a
+// write displaced, so crash recovery can roll a loser back with
+// engine.Table.undoSet — the same machinery a runtime abort uses.
+const (
+	// FlagPriorExisted: the key was visible before the write (updates and
+	// deletes; clear for inserts).
+	FlagPriorExisted uint8 = 1 << 0
+	// FlagPriorInDelta: the key had a delta-overlay entry (row or tombstone)
+	// before the write; clear means the visible value came from base storage.
+	FlagPriorInDelta uint8 = 1 << 1
+)
+
 // Record is one write-ahead-log entry. For data records, Key is the encoded
-// primary key and Image the encoded after-image row (nil for deletes).
-// Page carries the physical page the change touched, which replicas use to
-// drive cache invalidation and parallel replay partitioning.
+// primary key and Image the encoded after-image row (nil for deletes); Prior
+// is the encoded before-image (nil for inserts), which makes recovery undo of
+// uncommitted transactions possible without consulting volatile state. Page
+// carries the physical page the change touched, which replicas use to drive
+// cache invalidation and parallel replay partitioning. Published (shipped)
+// copies strip Prior — replicas replay after-images only.
 type Record struct {
 	LSN   LSN
 	Type  RecType
 	Txn   uint64
+	Flags uint8
 	Table TableID
 	Page  PageID
 	Key   []byte
 	Image []byte
+	Prior []byte
 }
 
+// recFixed is the encoded size of the fixed-width header fields, recSum the
+// CRC trailer.
+const (
+	recFixed = 1 + 8 + 8 + 1 + 4 + 4 + 8
+	recSum   = 4
+)
+
+// recCRC is the CRC-32C (Castagnoli) table used for record checksums.
+var recCRC = crc32.MakeTable(crc32.Castagnoli)
+
 // Size returns the encoded size in bytes, used to model log-shipping
-// bandwidth.
+// bandwidth and fsync cost.
 func (r *Record) Size() int {
-	return 1 + 8 + 8 + 4 + 4 + 8 + 4 + len(r.Key) + 4 + len(r.Image)
+	return recFixed + 4 + len(r.Key) + 4 + len(r.Image) + 4 + len(r.Prior) + recSum
 }
 
 // Encode appends the binary encoding of r to dst and returns the result.
-// The format is fixed-width headers with length-prefixed key and image.
+// The format is fixed-width headers with length-prefixed key, image, and
+// prior-image, closed by a CRC-32C over everything before it.
 func (r *Record) Encode(dst []byte) []byte {
+	start := len(dst)
 	dst = append(dst, byte(r.Type))
 	dst = binary.BigEndian.AppendUint64(dst, uint64(r.LSN))
 	dst = binary.BigEndian.AppendUint64(dst, r.Txn)
+	dst = append(dst, r.Flags)
 	dst = binary.BigEndian.AppendUint32(dst, uint32(r.Table))
 	dst = binary.BigEndian.AppendUint32(dst, uint32(r.Page.Table))
 	dst = binary.BigEndian.AppendUint64(dst, r.Page.Num)
@@ -89,18 +120,38 @@ func (r *Record) Encode(dst []byte) []byte {
 	dst = append(dst, r.Key...)
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(r.Image)))
 	dst = append(dst, r.Image...)
-	return dst
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(r.Prior)))
+	dst = append(dst, r.Prior...)
+	sum := crc32.Checksum(dst[start:], recCRC)
+	return binary.BigEndian.AppendUint32(dst, sum)
 }
 
 // ErrShortRecord reports a truncated record during decode.
 var ErrShortRecord = errors.New("storage: truncated WAL record")
 
-// DecodeRecord decodes one record from buf, returning the record and the
-// number of bytes consumed.
+// ErrCorruptRecord reports a checksum mismatch during decode: the record was
+// fully present but its bytes do not match the CRC trailer (a torn or
+// bit-rotted write).
+var ErrCorruptRecord = errors.New("storage: corrupt WAL record (checksum mismatch)")
+
+// DecodeRecord decodes one record from buf, verifying its checksum, and
+// returns the record and the number of bytes consumed. Truncation returns
+// ErrShortRecord, a checksum mismatch ErrCorruptRecord; either way the tail
+// of a crashed log must be cut at the failing record.
 func DecodeRecord(buf []byte) (Record, int, error) {
+	return decodeRecord(buf, true)
+}
+
+// DecodeRecordNoVerify decodes one record without checking its CRC trailer.
+// It exists only so recovery "teeth" tests can model a broken reader that
+// trusts a torn tail; real recovery always verifies.
+func DecodeRecordNoVerify(buf []byte) (Record, int, error) {
+	return decodeRecord(buf, false)
+}
+
+func decodeRecord(buf []byte, verify bool) (Record, int, error) {
 	var r Record
-	const fixed = 1 + 8 + 8 + 4 + 4 + 8 + 4
-	if len(buf) < fixed {
+	if len(buf) < recFixed+4 {
 		return r, 0, ErrShortRecord
 	}
 	off := 0
@@ -110,6 +161,8 @@ func DecodeRecord(buf []byte) (Record, int, error) {
 	off += 8
 	r.Txn = binary.BigEndian.Uint64(buf[off:])
 	off += 8
+	r.Flags = buf[off]
+	off++
 	r.Table = TableID(binary.BigEndian.Uint32(buf[off:]))
 	off += 4
 	r.Page.Table = TableID(binary.BigEndian.Uint32(buf[off:]))
@@ -118,7 +171,7 @@ func DecodeRecord(buf []byte) (Record, int, error) {
 	off += 8
 	klen := int(binary.BigEndian.Uint32(buf[off:]))
 	off += 4
-	if len(buf) < off+klen+4 {
+	if klen < 0 || len(buf)-off < klen+4 {
 		return r, 0, ErrShortRecord
 	}
 	if klen > 0 {
@@ -127,24 +180,151 @@ func DecodeRecord(buf []byte) (Record, int, error) {
 	off += klen
 	ilen := int(binary.BigEndian.Uint32(buf[off:]))
 	off += 4
-	if len(buf) < off+ilen {
+	if ilen < 0 || len(buf)-off < ilen+4 {
 		return r, 0, ErrShortRecord
 	}
 	if ilen > 0 {
 		r.Image = append([]byte(nil), buf[off:off+ilen]...)
 	}
 	off += ilen
+	plen := int(binary.BigEndian.Uint32(buf[off:]))
+	off += 4
+	if plen < 0 || len(buf)-off < plen+recSum {
+		return r, 0, ErrShortRecord
+	}
+	if plen > 0 {
+		r.Prior = append([]byte(nil), buf[off:off+plen]...)
+	}
+	off += plen
+	want := binary.BigEndian.Uint32(buf[off:])
+	off += recSum
+	if verify && crc32.Checksum(buf[:off-recSum], recCRC) != want {
+		return Record{}, 0, ErrCorruptRecord
+	}
 	return r, off, nil
+}
+
+// CheckpointTxn is one active-transaction-table entry of a fuzzy checkpoint:
+// a transaction that had logged work but not yet committed or aborted when
+// the checkpoint was taken, and the LSN of its first record (the lower bound
+// of any undo scan that must roll it back).
+type CheckpointTxn struct {
+	ID       uint64
+	FirstLSN LSN
+}
+
+// CheckpointData is the payload of a RecCheckpoint record: the fuzzy
+// checkpoint's redo start point, active-transaction table, and dirty-page
+// table. Recovery replays forward from StartLSN (everything older is covered
+// by flushed pages or by the ATT's undo ranges) and rolls back every ATT
+// entry that never reached a commit record.
+type CheckpointData struct {
+	// StartLSN is min(first LSN of every active txn, checkpoint LSN): the
+	// oldest record recovery may need.
+	StartLSN LSN
+	// ActiveTxns is the active-transaction table in ascending txn-id order.
+	ActiveTxns []CheckpointTxn
+	// DirtyPages is the dirty-page table: pages modified in the buffer pool
+	// but not yet written back when the checkpoint began.
+	DirtyPages []PageID
+}
+
+// EncodeCheckpointData serializes the payload for a RecCheckpoint's Image.
+func EncodeCheckpointData(d CheckpointData) []byte {
+	buf := make([]byte, 0, 8+4+len(d.ActiveTxns)*16+4+len(d.DirtyPages)*12)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(d.StartLSN))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(d.ActiveTxns)))
+	for _, t := range d.ActiveTxns {
+		buf = binary.BigEndian.AppendUint64(buf, t.ID)
+		buf = binary.BigEndian.AppendUint64(buf, uint64(t.FirstLSN))
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(d.DirtyPages)))
+	for _, pg := range d.DirtyPages {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(pg.Table))
+		buf = binary.BigEndian.AppendUint64(buf, pg.Num)
+	}
+	return buf
+}
+
+// DecodeCheckpointData parses a RecCheckpoint Image.
+func DecodeCheckpointData(buf []byte) (CheckpointData, error) {
+	var d CheckpointData
+	if len(buf) < 12 {
+		return d, ErrShortRecord
+	}
+	d.StartLSN = LSN(binary.BigEndian.Uint64(buf))
+	off := 8
+	n := int(binary.BigEndian.Uint32(buf[off:]))
+	off += 4
+	if n < 0 || len(buf)-off < n*16+4 {
+		return d, ErrShortRecord
+	}
+	for i := 0; i < n; i++ {
+		d.ActiveTxns = append(d.ActiveTxns, CheckpointTxn{
+			ID:       binary.BigEndian.Uint64(buf[off:]),
+			FirstLSN: LSN(binary.BigEndian.Uint64(buf[off+8:])),
+		})
+		off += 16
+	}
+	m := int(binary.BigEndian.Uint32(buf[off:]))
+	off += 4
+	if m < 0 || len(buf)-off < m*12 {
+		return d, ErrShortRecord
+	}
+	for i := 0; i < m; i++ {
+		d.DirtyPages = append(d.DirtyPages, PageID{
+			Table: TableID(binary.BigEndian.Uint32(buf[off:])),
+			Num:   binary.BigEndian.Uint64(buf[off+4:]),
+		})
+		off += 12
+	}
+	return d, nil
+}
+
+// TornMode selects how a crash mangles the record being written when the
+// failure hit (the torn tail past the last fsync barrier).
+type TornMode int
+
+const (
+	// TornNone: the crash fell between record writes; the unsynced suffix
+	// just vanishes.
+	TornNone TornMode = iota
+	// TornShort: the first unsynced record was half-written — the tail holds
+	// a truncated encoding (structural decode failure, ErrShortRecord).
+	TornShort
+	// TornFlip: the first unsynced record is full-length but a payload byte
+	// was mangled in flight — structurally decodable, caught only by the
+	// CRC trailer (ErrCorruptRecord).
+	TornFlip
+)
+
+func (m TornMode) String() string {
+	switch m {
+	case TornShort:
+		return "torn-short"
+	case TornFlip:
+		return "torn-flip"
+	default:
+		return "none"
+	}
 }
 
 // Log is an in-memory write-ahead log stream. The RW node appends; shippers
 // read ranges to feed replicas and page services. Appends assign dense LSNs.
 // A retention window keeps memory bounded: records older than the minimum
 // LSN any consumer still needs may be truncated.
+//
+// The log models an fsync barrier: Append leaves records volatile (buffered
+// in the OS or device cache) until Sync marks everything appended so far
+// durable. Group commit falls out naturally — one transaction's commit fsync
+// drags every earlier append, including other transactions' in-flight
+// operation records, across the barrier. Crash discards the suffix past the
+// barrier (see Crash).
 type Log struct {
 	firstLSN LSN // LSN of records[0]
 	records  []Record
 	bytes    int64
+	durable  LSN // highest LSN covered by an fsync barrier (0 = none)
 }
 
 // NewLog returns an empty log whose first record will get LSN 1.
@@ -152,7 +332,8 @@ func NewLog() *Log {
 	return &Log{firstLSN: 1}
 }
 
-// Append assigns the next LSN to r, stores it, and returns the LSN.
+// Append assigns the next LSN to r, stores it, and returns the LSN. The
+// record is volatile until the next Sync.
 func (l *Log) Append(r Record) LSN {
 	r.LSN = l.firstLSN + LSN(len(l.records))
 	l.records = append(l.records, r)
@@ -160,12 +341,70 @@ func (l *Log) Append(r Record) LSN {
 	return r.LSN
 }
 
+// Sync marks everything appended so far durable (the fsync barrier). The
+// caller pays the durability latency through its storage backend; Sync is
+// the bookkeeping that moves the barrier.
+func (l *Log) Sync() {
+	l.durable = l.Head()
+}
+
+// DurableLSN returns the highest LSN the fsync barrier covers.
+func (l *Log) DurableLSN() LSN { return l.durable }
+
 // Head returns the LSN of the most recent record (0 if empty).
 func (l *Log) Head() LSN {
 	if len(l.records) == 0 {
 		return l.firstLSN - 1
 	}
 	return l.firstLSN + LSN(len(l.records)) - 1
+}
+
+// Crash models power loss at this instant: every record past the fsync
+// barrier is dropped from the log, and — when torn is not TornNone and an
+// unsynced record existed — the encoding of the first dropped record comes
+// back mangled per the mode, as the torn tail a recovery scan must detect
+// and cut. It returns the torn-tail bytes (nil if none) and the number of
+// records lost.
+func (l *Log) Crash(torn TornMode) (tail []byte, dropped int) {
+	head := l.Head()
+	if l.durable >= head {
+		return nil, 0
+	}
+	keep := int(l.durable - l.firstLSN + 1)
+	if l.durable < l.firstLSN {
+		keep = 0
+	}
+	lost := l.records[keep:]
+	dropped = len(lost)
+	if torn != TornNone && len(lost) > 0 {
+		enc := lost[0].Encode(nil)
+		switch torn {
+		case TornShort:
+			// Keep just over half the record: enough for the fixed header so
+			// the decoder gets into the variable-length section before the
+			// bytes run out.
+			cut := recFixed + (len(enc)-recFixed)/2
+			tail = enc[:cut]
+		case TornFlip:
+			// Mangle a payload byte — the last prior-image byte when the
+			// record carries one (a reader that trusts the tail would then
+			// undo with a value that never existed), else a fixed-header
+			// byte inside Page.Num. Never a length prefix: the record still
+			// parses structurally, only the checksum knows.
+			if len(lost[0].Prior) > 0 {
+				enc[len(enc)-recSum-1] ^= 0xff
+			} else {
+				enc[recFixed-2] ^= 0xff
+			}
+			tail = enc
+		}
+	}
+	for i := range lost {
+		l.bytes -= int64(lost[i].Size())
+		lost[i] = Record{}
+	}
+	l.records = l.records[:keep]
+	return tail, dropped
 }
 
 // Read returns records with LSN in (after, after+max]; max <= 0 means all
@@ -206,18 +445,39 @@ func (l *Log) TruncateBefore(lsn LSN) {
 	l.firstLSN = lsn
 }
 
-// LogSnapshot is a point-in-time capture of a Log (warm-up memoization).
-// The record entries are shared with the source log — records are immutable
-// once appended, so aliasing is safe.
+// LogSnapshot is a point-in-time capture of a Log (warm-up memoization and
+// crash recovery). The record entries are shared with the source log —
+// records are immutable once appended, so aliasing is safe.
 type LogSnapshot struct {
 	firstLSN LSN
 	records  []Record
 	bytes    int64
+	durable  LSN
 }
 
 // Snapshot captures the log's current state.
 func (l *Log) Snapshot() LogSnapshot {
-	return LogSnapshot{firstLSN: l.firstLSN, records: l.records[:len(l.records):len(l.records)], bytes: l.bytes}
+	return LogSnapshot{firstLSN: l.firstLSN, records: l.records[:len(l.records):len(l.records)], bytes: l.bytes, durable: l.durable}
+}
+
+// DurableSnapshot is Snapshot restricted to the durable prefix — what
+// shared storage serves to a resyncing replica. Records past the fsync
+// barrier exist only in the primary's volatile memory and must not leak
+// into another node's recovery source.
+func (l *Log) DurableSnapshot() LogSnapshot {
+	snap := l.Snapshot()
+	n := 0
+	var bytes int64
+	for i := range snap.records {
+		if snap.records[i].LSN > snap.durable {
+			break
+		}
+		bytes += int64(snap.records[i].Size())
+		n++
+	}
+	snap.records = snap.records[:n:n]
+	snap.bytes = bytes
+	return snap
 }
 
 // Restore resets the log to a snapshot. The record slice is copied so that
@@ -226,6 +486,7 @@ func (l *Log) Restore(snap LogSnapshot) {
 	l.firstLSN = snap.firstLSN
 	l.records = append([]Record(nil), snap.records...)
 	l.bytes = snap.bytes
+	l.durable = snap.durable
 }
 
 // Len returns the number of retained records.
